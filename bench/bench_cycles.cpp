@@ -1,0 +1,91 @@
+// T5 (§3): comprehensiveness. Distributed cyclic garbage — rings, rings
+// with sub-cycles, doubly-linked lists — collected by the comprehensive
+// systems (ours, Schelvis, tracing) and leaked by weighted reference
+// counting, the representative of the "cycles are rare" school the paper
+// argues against.
+#include <iostream>
+
+#include "baselines/schelvis/schelvis.hpp"
+#include "baselines/tracing/tracing.hpp"
+#include "baselines/wrc/wrc.hpp"
+#include "common/table.hpp"
+#include "workload/ops.hpp"
+#include "workload/replay.hpp"
+
+namespace cgc {
+namespace {
+
+NetworkConfig unit_net() {
+  return NetworkConfig{.min_latency = 1,
+                       .max_latency = 1,
+                       .drop_rate = 0,
+                       .duplicate_rate = 0,
+                       .seed = 5};
+}
+
+template <typename Engine>
+std::size_t run_baseline(const TraceBuilder& t, bool tracing_cycle = false) {
+  Simulator sim;
+  Network net(sim, unit_net());
+  Engine eng(net);
+  for (const MutatorOp& op : t.ops()) {
+    eng.apply(op);
+    sim.run();
+  }
+  if constexpr (std::is_same_v<Engine, TracingCollector>) {
+    if (tracing_cycle) {
+      eng.run_cycle();
+      sim.run();
+    }
+  }
+  return eng.removed_count();
+}
+
+std::size_t run_ours(const TraceBuilder& t) {
+  Scenario s(Scenario::Config{.net = unit_net()});
+  replay_on_scenario(s, t.ops());
+  s.run_with_sweeps();
+  return s.removed().size();
+}
+
+}  // namespace
+}  // namespace cgc
+
+int main() {
+  using namespace cgc;
+  std::cout << "T5 (paper section 3): distributed cyclic garbage collected, "
+               "by system\n"
+            << "claim: comprehensive systems collect all of it; weighted "
+               "reference counting leaks all of it\n\n";
+  Table table({"workload", "garbage", "ours", "schelvis", "tracing", "wrc"});
+  const std::vector<std::pair<std::string, std::size_t>> sizes = {
+      {"ring", 8}, {"ring+subcycles", 8}, {"doubly-linked list", 8},
+      {"ring+subcycles", 24}};
+  for (auto [name, k] : sizes) {
+    TraceBuilder t;
+    if (name == "ring") {
+      TraceBuilder b;
+      const ProcessId root = b.add_root();
+      std::vector<ProcessId> elems;
+      elems.push_back(b.create(root));
+      for (std::size_t i = 1; i < k; ++i) {
+        elems.push_back(b.create(elems[i - 1]));
+      }
+      b.link_own(elems[0], elems[k - 1]);
+      b.drop(root, elems[0]);
+      t = b;
+    } else if (name == "ring+subcycles") {
+      t = traces::ring_with_subcycles(k);
+    } else {
+      t = traces::doubly_linked_list(k);
+    }
+    table.row(name + " k=" + std::to_string(k), k, run_ours(t),
+              run_baseline<SchelvisEngine>(t),
+              run_baseline<TracingCollector>(t, /*tracing_cycle=*/true),
+              run_baseline<WrcEngine>(t));
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: ours == schelvis == tracing == garbage "
+               "column; wrc == 0 on every row.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// T7 (§5): detection latency. The paper concedes detection latency is
+// unbounded in general; measured here: virtual time and messages from the
+// severing mutator event until the last member of a garbage cycle is
+// detected, as the cycle grows — and the per-object latency trend.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "workload/builders.hpp"
+#include "workload/scenario.hpp"
+
+namespace cgc {
+namespace {
+
+Scenario::Config cfg() {
+  return Scenario::Config{
+      .net = NetworkConfig{.min_latency = 1,
+                           .max_latency = 4,
+                           .drop_rate = 0,
+                           .duplicate_rate = 0,
+                           .seed = 21},
+  };
+}
+
+}  // namespace
+}  // namespace cgc
+
+int main() {
+  using namespace cgc;
+  std::cout << "T7 (paper section 5): detection latency for a garbage ring "
+               "with sub-cycles of k elements\n\n";
+  Table table({"k", "sim_ticks", "ggd_msgs", "ticks_per_object",
+               "msgs_per_object"});
+  for (std::size_t k : {4u, 8u, 16u, 32u, 64u}) {
+    Scenario s(cfg());
+    const ProcessId root = s.add_root();
+    const auto elems = build_ring_with_subcycles(s, root, k);
+    s.run();
+    const SimTime t0 = s.sim().now();
+    s.net().stats().reset();
+    s.drop_ref(root, elems[0]);
+    s.run();
+    CGC_CHECK(s.removed().size() == k);
+    const SimTime ticks = s.sim().now() - t0;
+    const std::uint64_t msgs = s.net().stats().control_sent();
+    table.row(k, ticks, msgs,
+              static_cast<double>(ticks) / static_cast<double>(k),
+              static_cast<double>(msgs) / static_cast<double>(k));
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: latency grows with the structure (vector "
+               "times must circulate the cycle);\nmsgs_per_object stays "
+               "near-constant — detection work is proportional to the "
+               "garbage.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// T4 (§1/§5): robustness. Sweep message-loss and duplication rates over a
+// cyclic garbage workload: live objects must never be reclaimed (safety
+// violations column must be all zeros); loss shows up only as residual
+// garbage; duplication changes nothing.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "workload/builders.hpp"
+#include "workload/scenario.hpp"
+
+namespace cgc {
+namespace {
+
+struct Row {
+  double drop;
+  double dup;
+  std::size_t garbage_total = 0;
+  std::size_t collected = 0;
+  std::size_t residual = 0;
+  std::size_t violations = 0;
+};
+
+Row run(double drop, double dup, std::uint64_t seed) {
+  // Faults are injected for the collection phase only: a dropped
+  // reference-passing message would (correctly) change the graph itself,
+  // obscuring the comparison.
+  Scenario s(Scenario::Config{
+      .net = NetworkConfig{.min_latency = 1,
+                           .max_latency = 6,
+                           .drop_rate = 0,
+                           .duplicate_rate = 0,
+                           .seed = seed},
+  });
+  const ProcessId root = s.add_root();
+  const auto keep = build_doubly_linked_list(s, root, 6);
+  const auto cycle = build_ring_with_subcycles(s, root, 12);
+  s.run();
+  s.net().set_drop_rate(drop);
+  s.net().set_duplicate_rate(dup);
+  s.drop_ref(root, cycle[0]);
+  s.run_with_sweeps();
+
+  Row r{drop, dup};
+  r.garbage_total = 12;
+  r.collected = s.removed().size();
+  r.residual = s.residual_garbage().size();
+  r.violations = s.violations().size();
+  // Live side must be intact regardless of faults.
+  for (ProcessId p : keep) {
+    if (s.engine().process(p).removed()) {
+      ++r.violations;
+    }
+  }
+  return r;
+}
+
+}  // namespace
+}  // namespace cgc
+
+int main() {
+  using namespace cgc;
+  std::cout << "T4 (paper sections 1 and 5): safety under message loss and "
+               "duplication\n"
+            << "claim: loss => residual garbage only; duplication => no "
+               "change; violations always 0\n\n";
+  Table table({"drop_rate", "dup_rate", "garbage", "collected", "residual",
+               "safety_violations"});
+  const std::vector<std::pair<double, double>> cases = {
+      {0.0, 0.0}, {0.0, 0.5}, {0.0, 1.0}, {0.1, 0.0}, {0.25, 0.0},
+      {0.5, 0.0}, {0.75, 0.0}, {0.9, 0.0}, {0.25, 0.25}, {0.5, 0.5}};
+  for (auto [drop, dup] : cases) {
+    // Aggregate over several seeds so rates are meaningful.
+    std::size_t collected = 0, residual = 0, violations = 0, total = 0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const Row r = run(drop, dup, seed);
+      collected += r.collected;
+      residual += r.residual;
+      violations += r.violations;
+      total += r.garbage_total;
+    }
+    table.row(drop, dup, total, collected, residual, violations);
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: collected + residual == garbage on every "
+               "row; safety_violations all 0;\nresidual grows with "
+               "drop_rate and is 0 for pure duplication.\n";
+  return 0;
+}

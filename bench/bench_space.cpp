@@ -1,0 +1,78 @@
+// T6 (§5): space overhead. The paper concedes its log space exceeds graph
+// tracing's per-site mark state, but — unlike Fowler & Zwaenepoel-style
+// reconstruction — it is BOUNDED: no per-event history is kept. We measure
+// total log entries per live global root as structures grow and as churn
+// accumulates events: per-root state must track acquaintances, not event
+// count.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "workload/builders.hpp"
+#include "workload/scenario.hpp"
+
+namespace cgc {
+namespace {
+
+Scenario::Config cfg(std::uint64_t seed) {
+  return Scenario::Config{
+      .net = NetworkConfig{.min_latency = 1,
+                           .max_latency = 3,
+                           .drop_rate = 0,
+                           .duplicate_rate = 0,
+                           .seed = seed},
+  };
+}
+
+}  // namespace
+}  // namespace cgc
+
+int main() {
+  using namespace cgc;
+  std::cout << "T6 (paper section 5): DV-log space per live global root\n"
+            << "claim: bounded by acquaintances (graph degree), NOT by the "
+               "number of past events\n\n";
+
+  std::cout << "sweep A: structure size (ring with sub-cycles, live)\n";
+  Table a({"k", "live_roots", "log_entries", "entries_per_root"});
+  for (std::size_t k : {4u, 8u, 16u, 32u, 64u}) {
+    Scenario s(cfg(k));
+    const ProcessId root = s.add_root();
+    build_ring_with_subcycles(s, root, k);
+    s.run();
+    const std::size_t entries = s.engine().total_log_entries();
+    const std::size_t roots = k + 1;
+    a.row(k, roots, entries,
+          static_cast<double>(entries) / static_cast<double>(roots));
+  }
+  a.print(std::cout);
+
+  std::cout << "\nsweep B: events accumulate on a FIXED structure "
+               "(repeated link/drop churn on a ring of 8)\n";
+  Table b({"churn_ops", "log_entries", "entries_per_root"});
+  for (std::size_t churn : {0u, 50u, 200u, 800u}) {
+    Scenario s(cfg(99));
+    const ProcessId root = s.add_root();
+    const auto elems = build_ring_with_subcycles(s, root, 8);
+    s.run();
+    for (std::size_t i = 0; i < churn; ++i) {
+      // Re-link and re-drop the same edge over and over: thousands of
+      // log-keeping events, zero new acquaintances.
+      const ProcessId a_ = elems[i % 8];
+      const ProcessId b_ = elems[(i + 1) % 8];
+      s.send_own_ref(a_, b_);
+      s.run();
+      if (s.holds(b_, a_)) {
+        s.drop_ref(b_, a_);
+        s.run();
+      }
+    }
+    const std::size_t entries = s.engine().total_log_entries();
+    b.row(churn, entries, static_cast<double>(entries) / 9.0);
+  }
+  b.print(std::cout);
+  std::cout << "\nexpected shape: entries_per_root grows with structure "
+               "degree (sweep A) but stays bounded\nas events accumulate "
+               "(sweep B) — the paper's answer to unbounded-history "
+               "vector-time reconstruction.\n";
+  return 0;
+}

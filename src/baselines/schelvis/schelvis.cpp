@@ -1,0 +1,163 @@
+#include "baselines/schelvis/schelvis.hpp"
+
+#include "common/assert.hpp"
+
+namespace cgc {
+
+SchelvisEngine::Node& SchelvisEngine::node(ProcessId id) {
+  auto it = nodes_.find(id);
+  CGC_CHECK_MSG(it != nodes_.end(), "unknown schelvis node");
+  return it->second;
+}
+
+const SchelvisEngine::Node& SchelvisEngine::node(ProcessId id) const {
+  auto it = nodes_.find(id);
+  CGC_CHECK_MSG(it != nodes_.end(), "unknown schelvis node");
+  return it->second;
+}
+
+void SchelvisEngine::apply(const MutatorOp& op) {
+  switch (op.kind) {
+    case MutatorOp::Kind::kAddRoot:
+      add_node(op.a, /*root=*/true);
+      break;
+    case MutatorOp::Kind::kCreate:
+      add_node(op.a, /*root=*/false);
+      // The creation message itself carries the reference (mutator
+      // traffic, same as every system).
+      net_.send(site(op.b), site(op.a), MessageKind::kReferencePass, 1,
+                [] {});
+      add_edge(op.b, op.a, /*third_party=*/false);
+      break;
+    case MutatorOp::Kind::kLinkOwn:
+      net_.send(site(op.a), site(op.b), MessageKind::kReferencePass, 1,
+                [] {});
+      add_edge(op.b, op.a, /*third_party=*/false);
+      break;
+    case MutatorOp::Kind::kLinkThird:
+      net_.send(site(op.a), site(op.b), MessageKind::kReferencePass, 1,
+                [] {});
+      add_edge(op.b, op.c, /*third_party=*/true);
+      break;
+    case MutatorOp::Kind::kDrop:
+      remove_edge(op.a, op.b);
+      break;
+  }
+}
+
+void SchelvisEngine::add_node(ProcessId id, bool root) {
+  auto [it, inserted] = nodes_.emplace(id, Node{});
+  CGC_CHECK(inserted);
+  it->second.root = root;
+}
+
+void SchelvisEngine::add_edge(ProcessId a, ProcessId b, bool third_party) {
+  node(a).out.insert(b);
+  if (third_party) {
+    // Eager log-keeping: the target's log must be updated NOW, which for a
+    // third-party exchange costs an extra control message (§2.3).
+    net_.send(site(a), site(b), MessageKind::kEagerControl, 1,
+              [this, a, b]() {
+                if (nodes_.contains(b) && !node(b).removed) {
+                  node(b).in.insert(a);
+                }
+              });
+  } else {
+    // Two-party exchange: the target participates, its log updates with
+    // the mutator message itself.
+    node(b).in.insert(a);
+  }
+}
+
+void SchelvisEngine::remove_edge(ProcessId a, ProcessId b) {
+  node(a).out.erase(b);
+  net_.send(site(a), site(b), MessageKind::kEagerControl, 1, [this, a, b]() {
+    if (!nodes_.contains(b) || node(b).removed) {
+      return;
+    }
+    node(b).in.erase(a);
+    reconsider(b);
+  });
+}
+
+void SchelvisEngine::reconsider(ProcessId id) {
+  Node& n = node(id);
+  if (n.root || n.removed) {
+    return;
+  }
+  auto probe = std::make_shared<Probe>();
+  probe->origin = id;
+  probe->visited.insert(id);
+  probe->path.push_back(id);
+  probe_step(std::move(probe));
+}
+
+void SchelvisEngine::probe_step(std::shared_ptr<Probe> probe) {
+  CGC_CHECK(!probe->path.empty());
+  const ProcessId cur = probe->path.back();
+  if (!nodes_.contains(cur) || node(cur).removed) {
+    // Dead end: backtrack.
+    probe->path.pop_back();
+    if (probe->path.empty()) {
+      conclude(*probe, /*rooted=*/false);
+    } else {
+      hop(probe, cur, probe->path.back());
+    }
+    return;
+  }
+  const Node& n = node(cur);
+  if (n.root) {
+    conclude(*probe, /*rooted=*/true);
+    return;
+  }
+  for (ProcessId pred : n.in) {
+    if (!probe->visited.contains(pred)) {
+      probe->visited.insert(pred);
+      probe->path.push_back(pred);
+      hop(probe, cur, pred);
+      return;
+    }
+  }
+  // All predecessors explored: backtrack one hop.
+  probe->path.pop_back();
+  if (probe->path.empty()) {
+    conclude(*probe, /*rooted=*/false);
+  } else {
+    hop(probe, cur, probe->path.back());
+  }
+}
+
+void SchelvisEngine::hop(std::shared_ptr<Probe> probe, ProcessId from,
+                         ProcessId to) {
+  // Read the size before constructing the callback: argument evaluation
+  // order is unspecified and the capture moves `probe`.
+  const std::size_t packet_size = probe->path.size();
+  net_.send(site(from), site(to), MessageKind::kSchelvisPacket, packet_size,
+            [this, probe = std::move(probe)]() mutable {
+              probe_step(std::move(probe));
+            });
+}
+
+void SchelvisEngine::conclude(const Probe& probe, bool rooted) {
+  if (rooted) {
+    return;  // still (potentially) reachable: nothing to do
+  }
+  if (nodes_.contains(probe.origin) && !node(probe.origin).removed) {
+    remove_node(probe.origin);
+  }
+}
+
+void SchelvisEngine::remove_node(ProcessId id) {
+  Node& n = node(id);
+  CGC_CHECK(!n.root);
+  n.removed = true;
+  ++removed_count_;
+  const std::set<ProcessId> out = n.out;
+  n.out.clear();
+  n.in.clear();
+  for (ProcessId t : out) {
+    remove_edge(id, t);
+  }
+}
+
+}  // namespace cgc

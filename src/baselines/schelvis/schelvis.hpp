@@ -1,0 +1,87 @@
+// Baseline: Schelvis' incremental timestamp-packet GGD (OOPSLA'89), as
+// characterised by the paper's §4.
+//
+// Two properties matter for the comparison and are modelled faithfully:
+//   1. EAGER log-keeping — third-party reference exchanges require an
+//      additional control message to the target object at transfer time
+//      (the cost and race the paper's lazy mechanism eliminates, §2.3).
+//   2. Per-adjacent-root, depth-first packet propagation — whenever a
+//      global root loses an edge it determines the potential existence of
+//      open paths to it by tracing the mutator computation graph depth
+//      first. A travelling packet explores the in-edge graph one hop per
+//      message (forward and backtrack hops both cost a message), so
+//      collecting a disconnected doubly-linked list of k elements costs
+//      O(k) packets for each of the k elements: O(k^2) messages, versus
+//      O(k) for the causal-dependency algorithm (§4).
+//
+// Like the paper's algorithm it is comprehensive (cycles are collected —
+// an exhausted depth-first search proves the absence of a root path).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/network.hpp"
+#include "workload/ops.hpp"
+
+namespace cgc {
+
+class SchelvisEngine {
+ public:
+  explicit SchelvisEngine(Network& net) : net_(net) {}
+
+  /// Replays one mutator operation (edges are maintained eagerly, with the
+  /// corresponding control traffic).
+  void apply(const MutatorOp& op);
+
+  [[nodiscard]] bool removed(ProcessId id) const {
+    return node(id).removed;
+  }
+  [[nodiscard]] std::size_t removed_count() const { return removed_count_; }
+  [[nodiscard]] bool exists(ProcessId id) const {
+    return nodes_.contains(id);
+  }
+
+ private:
+  struct Node {
+    bool root = false;
+    bool removed = false;
+    std::set<ProcessId> in;
+    std::set<ProcessId> out;
+  };
+
+  /// A travelling depth-first probe: "is there an open path from an actual
+  /// root to `origin`?" One network message per hop, forward or backtrack.
+  struct Probe {
+    ProcessId origin;
+    std::set<ProcessId> visited;
+    std::vector<ProcessId> path;  // DFS stack, path.back() = current node
+  };
+
+  Node& node(ProcessId id);
+  [[nodiscard]] const Node& node(ProcessId id) const;
+
+  void add_node(ProcessId id, bool root);
+  /// Eagerly registers edge a -> b (control message to b when the creation
+  /// was third party).
+  void add_edge(ProcessId a, ProcessId b, bool third_party);
+  /// Destroys edge a -> b: control message to b, which then reconsiders.
+  void remove_edge(ProcessId a, ProcessId b);
+
+  void reconsider(ProcessId id);
+  void probe_step(std::shared_ptr<Probe> probe);
+  void hop(std::shared_ptr<Probe> probe, ProcessId from, ProcessId to);
+  void conclude(const Probe& probe, bool rooted);
+  void remove_node(ProcessId id);
+
+  [[nodiscard]] SiteId site(ProcessId id) const { return SiteId{id.value()}; }
+
+  Network& net_;
+  std::map<ProcessId, Node> nodes_;
+  std::size_t removed_count_ = 0;
+};
+
+}  // namespace cgc

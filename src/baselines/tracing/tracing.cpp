@@ -1,0 +1,95 @@
+#include "baselines/tracing/tracing.hpp"
+
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace cgc {
+
+void TracingCollector::apply(const MutatorOp& op) {
+  switch (op.kind) {
+    case MutatorOp::Kind::kAddRoot:
+      nodes_[op.a].root = true;
+      break;
+    case MutatorOp::Kind::kCreate:
+      nodes_[op.a];
+      nodes_[op.b].out.insert(op.a);
+      net_.send(site(op.b), site(op.a), MessageKind::kReferencePass, 1,
+                [] {});
+      break;
+    case MutatorOp::Kind::kLinkOwn:
+      nodes_[op.b].out.insert(op.a);
+      net_.send(site(op.a), site(op.b), MessageKind::kReferencePass, 1,
+                [] {});
+      break;
+    case MutatorOp::Kind::kLinkThird:
+      nodes_[op.b].out.insert(op.c);
+      net_.send(site(op.a), site(op.b), MessageKind::kReferencePass, 1,
+                [] {});
+      break;
+    case MutatorOp::Kind::kDrop: {
+      auto it = nodes_.find(op.a);
+      CGC_CHECK(it != nodes_.end());
+      it->second.out.erase(op.b);
+      break;
+    }
+  }
+}
+
+std::size_t TracingCollector::run_cycle() {
+  // The coordinator lives on a site of its own.
+  const SiteId coordinator{0};
+
+  // Consensus round-trip 1: start the iteration on EVERY site.
+  last_participants_ = nodes_.size();
+  for (const auto& [id, n] : nodes_) {
+    (void)n;
+    net_.send(coordinator, site(id), MessageKind::kTracingControl, 1, [] {});
+  }
+
+  // Mark phase: every inter-site edge reached from a root costs one mark
+  // message plus one acknowledgement (termination detection).
+  std::set<ProcessId> marked;
+  std::vector<ProcessId> stack;
+  for (const auto& [id, n] : nodes_) {
+    if (n.root) {
+      marked.insert(id);
+      stack.push_back(id);
+    }
+  }
+  while (!stack.empty()) {
+    const ProcessId p = stack.back();
+    stack.pop_back();
+    for (ProcessId q : nodes_.at(p).out) {
+      net_.send(site(p), site(q), MessageKind::kTracingControl, 1, [] {});
+      net_.send(site(q), site(p), MessageKind::kTracingControl, 1, [] {});
+      if (nodes_.contains(q) && marked.insert(q).second) {
+        stack.push_back(q);
+      }
+    }
+  }
+
+  // Consensus round-trip 2: every site reports completion, the
+  // coordinator broadcasts the sweep. Only now can anything be reclaimed.
+  for (const auto& [id, n] : nodes_) {
+    (void)n;
+    net_.send(site(id), coordinator, MessageKind::kTracingControl, 1, [] {});
+    net_.send(coordinator, site(id), MessageKind::kTracingControl, 1, [] {});
+  }
+
+  // Sweep.
+  std::vector<ProcessId> dead;
+  for (const auto& [id, n] : nodes_) {
+    (void)n;
+    if (!marked.contains(id)) {
+      dead.push_back(id);
+    }
+  }
+  for (ProcessId id : dead) {
+    nodes_.erase(id);
+  }
+  removed_count_ += dead.size();
+  return dead.size();
+}
+
+}  // namespace cgc

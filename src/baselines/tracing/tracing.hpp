@@ -1,0 +1,63 @@
+// Baseline: distributed graph-tracing GGD with a coordinator and explicit
+// termination detection — the family the paper argues against (§2.4,
+// [10, 9, 4, 11]).
+//
+// Modelled costs per GGD iteration:
+//   * a start message to EVERY site (all sites participate — the consensus
+//     bottleneck),
+//   * one mark message per inter-site edge reached from a root (message
+//     complexity proportional to LIVE objects),
+//   * one acknowledgement per mark message (termination detection),
+//   * a completion report from every site and a sweep broadcast
+//     (the global consensus round before any resource is reclaimed).
+//
+// It is comprehensive (cycles fall out of tracing) but cannot reclaim
+// anything before the global iteration completes.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "common/types.hpp"
+#include "net/network.hpp"
+#include "workload/ops.hpp"
+
+namespace cgc {
+
+class TracingCollector {
+ public:
+  explicit TracingCollector(Network& net) : net_(net) {}
+
+  /// Replays one mutator operation. Graph tracing needs no per-operation
+  /// control messages (it inspects the graph in situ) — only the mutator
+  /// reference-passing traffic itself is counted.
+  void apply(const MutatorOp& op);
+
+  /// Runs one full GGD iteration; returns the number of objects reclaimed.
+  std::size_t run_cycle();
+
+  [[nodiscard]] bool removed(ProcessId id) const {
+    return !nodes_.contains(id);
+  }
+  [[nodiscard]] std::size_t removed_count() const { return removed_count_; }
+
+  /// Sites that participated in the last cycle (always: all of them).
+  [[nodiscard]] std::size_t participating_sites() const {
+    return last_participants_;
+  }
+
+ private:
+  struct Node {
+    bool root = false;
+    std::set<ProcessId> out;
+  };
+
+  [[nodiscard]] SiteId site(ProcessId id) const { return SiteId{id.value()}; }
+
+  Network& net_;
+  std::map<ProcessId, Node> nodes_;
+  std::size_t removed_count_ = 0;
+  std::size_t last_participants_ = 0;
+};
+
+}  // namespace cgc

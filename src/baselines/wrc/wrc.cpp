@@ -1,0 +1,86 @@
+#include "baselines/wrc/wrc.hpp"
+
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace cgc {
+
+void WrcEngine::apply(const MutatorOp& op) {
+  switch (op.kind) {
+    case MutatorOp::Kind::kAddRoot:
+      nodes_[op.a].root = true;
+      break;
+    case MutatorOp::Kind::kCreate:
+      nodes_[op.a];
+      net_.send(site(op.b), site(op.a), MessageKind::kReferencePass, 1,
+                [] {});
+      grant(op.b, op.a, kInitialWeight);
+      break;
+    case MutatorOp::Kind::kLinkOwn:
+      // The object itself issues fresh weight to the new referrer: a
+      // two-party exchange, no extra control message.
+      net_.send(site(op.a), site(op.b), MessageKind::kReferencePass, 1,
+                [] {});
+      grant(op.b, op.a, kInitialWeight);
+      break;
+    case MutatorOp::Kind::kLinkThird: {
+      // Forwarding splits the held weight locally — zero control messages,
+      // WRC's claim to scalability.
+      auto it = ref_weight_.find({op.a, op.c});
+      CGC_CHECK_MSG(it != ref_weight_.end(),
+                    "forwarder must hold the reference");
+      CGC_CHECK_MSG(it->second >= 2, "weight exhausted (indirection needed)");
+      const std::uint64_t half = it->second / 2;
+      it->second -= half;
+      ref_weight_[{op.b, op.c}] += half;
+      net_.send(site(op.a), site(op.b), MessageKind::kReferencePass, 1,
+                [] {});
+      break;
+    }
+    case MutatorOp::Kind::kDrop:
+      return_weight(op.a, op.b);
+      break;
+  }
+}
+
+void WrcEngine::grant(ProcessId holder, ProcessId target,
+                      std::uint64_t weight) {
+  nodes_[target].loaned += weight;
+  ref_weight_[{holder, target}] += weight;
+}
+
+void WrcEngine::return_weight(ProcessId holder, ProcessId target) {
+  auto it = ref_weight_.find({holder, target});
+  CGC_CHECK_MSG(it != ref_weight_.end(), "dropping a reference not held");
+  const std::uint64_t w = it->second;
+  ref_weight_.erase(it);
+  // One control message returns the weight to the object's home site.
+  net_.send(site(holder), site(target), MessageKind::kWrcControl, 1,
+            [this, target, w]() {
+      auto nit = nodes_.find(target);
+      if (nit == nodes_.end()) {
+        return;
+      }
+      CGC_CHECK(nit->second.loaned >= w);
+      nit->second.loaned -= w;
+      if (nit->second.loaned == 0 && !nit->second.root) {
+        // All weight returned: provably unreachable (acyclically).
+        // Recursively drop the references the dead object held.
+        std::vector<std::pair<ProcessId, ProcessId>> held;
+        for (const auto& [key, weight] : ref_weight_) {
+          (void)weight;
+          if (key.first == target) {
+            held.push_back(key);
+          }
+        }
+        removed_.insert(target);
+        nodes_.erase(nit);
+        for (const auto& [h, t] : held) {
+          return_weight(h, t);
+        }
+      }
+    });
+}
+
+}  // namespace cgc

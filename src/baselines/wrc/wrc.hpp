@@ -1,0 +1,58 @@
+// Baseline: weighted reference counting (Bevan / Watson & Watson,
+// PARLE'87) — the scalable-but-NOT-comprehensive point in the design
+// space (§3: comprehensiveness traded for scalability on the assumption
+// that distributed cycles are rare).
+//
+// Each object tracks the total weight on loan; each reference carries a
+// weight. Copying a reference (third-party forwarding included) splits the
+// held weight locally — no control message, WRC's selling point. Dropping
+// a reference returns its weight to the object in one control message; the
+// object is garbage when its loaned weight returns to zero.
+//
+// Distributed cycles of garbage are NEVER reclaimed: their members hold
+// weight on one another for ever (T5's leak demonstration).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/types.hpp"
+#include "net/network.hpp"
+#include "workload/ops.hpp"
+
+namespace cgc {
+
+class WrcEngine {
+ public:
+  explicit WrcEngine(Network& net) : net_(net) {}
+
+  void apply(const MutatorOp& op);
+
+  [[nodiscard]] bool removed(ProcessId id) const {
+    return removed_.contains(id);
+  }
+  [[nodiscard]] std::size_t removed_count() const { return removed_.size(); }
+
+ private:
+  static constexpr std::uint64_t kInitialWeight = 1ULL << 40;
+
+  struct Node {
+    bool root = false;
+    std::uint64_t loaned = 0;  // weight currently on loan to references
+  };
+
+  void grant(ProcessId holder, ProcessId target, std::uint64_t weight);
+  void return_weight(ProcessId holder, ProcessId target);
+
+  [[nodiscard]] SiteId site(ProcessId id) const { return SiteId{id.value()}; }
+
+  Network& net_;
+  std::map<ProcessId, Node> nodes_;
+  /// Weight carried by each held reference (holder, target).
+  std::map<std::pair<ProcessId, ProcessId>, std::uint64_t> ref_weight_;
+  std::set<ProcessId> removed_;
+};
+
+}  // namespace cgc

@@ -1,0 +1,34 @@
+// Lightweight always-on assertion macros.
+//
+// CGC_CHECK is active in all build types: the simulation is the test oracle,
+// so internal-consistency violations must never be silently ignored in
+// release benchmarking builds either.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cgc {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "CGC_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace cgc
+
+#define CGC_CHECK(expr)                                          \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::cgc::assert_fail(#expr, __FILE__, __LINE__, nullptr);    \
+    }                                                            \
+  } while (false)
+
+#define CGC_CHECK_MSG(expr, msg)                                 \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::cgc::assert_fail(#expr, __FILE__, __LINE__, (msg));      \
+    }                                                            \
+  } while (false)

@@ -1,0 +1,87 @@
+// Plain-text table formatting for experiment output.
+//
+// Every bench binary prints the rows/series its paper artifact reports via
+// this one formatter so the tables in EXPERIMENTS.md stay uniform.
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace cgc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  Table& add_row(std::vector<std::string> cells) {
+    CGC_CHECK(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  /// Convenience: formats arithmetic cells with operator<<.
+  template <typename... Ts>
+  Table& row(const Ts&... cells) {
+    std::vector<std::string> formatted;
+    formatted.reserve(sizeof...(Ts));
+    (formatted.push_back(format_cell(cells)), ...);
+    return add_row(std::move(formatted));
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size(); ++c) {
+        widths[c] = std::max(widths[c], r[c].size());
+      }
+    }
+    print_row(os, headers_, widths);
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << (c == 0 ? "" : "-+-") << std::string(widths[c], '-');
+    }
+    os << '\n';
+    for (const auto& r : rows_) {
+      print_row(os, r, widths);
+    }
+  }
+
+ private:
+  template <typename T>
+  static std::string format_cell(const T& v) {
+    if constexpr (std::is_same_v<T, std::string> ||
+                  std::is_convertible_v<T, const char*>) {
+      return std::string(v);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      std::ostringstream ss;
+      ss << std::fixed << std::setprecision(2) << v;
+      return ss.str();
+    } else {
+      std::ostringstream ss;
+      ss << v;
+      return ss.str();
+    }
+  }
+
+  static void print_row(std::ostream& os, const std::vector<std::string>& r,
+                        const std::vector<std::size_t>& widths) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << (c == 0 ? "" : " | ") << std::setw(static_cast<int>(widths[c]))
+         << r[c];
+    }
+    os << '\n';
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cgc

@@ -1,0 +1,212 @@
+#include "ggd/engine.hpp"
+
+namespace cgc {
+
+GgdProcess& GgdEngine::add_process(ProcessId id, SiteId site, bool is_root) {
+  CGC_CHECK_MSG(!procs_.contains(id), "duplicate process id");
+  auto [it, inserted] = procs_.emplace(id, GgdProcess(id, is_root));
+  CGC_CHECK(inserted);
+  site_of_[id] = site;
+  root_flag_[id] = is_root;
+  return it->second;
+}
+
+GgdProcess& GgdEngine::process(ProcessId id) {
+  auto it = procs_.find(id);
+  CGC_CHECK_MSG(it != procs_.end(), "unknown process id");
+  return it->second;
+}
+
+const GgdProcess& GgdEngine::process(ProcessId id) const {
+  auto it = procs_.find(id);
+  CGC_CHECK_MSG(it != procs_.end(), "unknown process id");
+  return it->second;
+}
+
+SiteId GgdEngine::site_of(ProcessId id) const {
+  auto it = site_of_.find(id);
+  CGC_CHECK(it != site_of_.end());
+  return it->second;
+}
+
+void GgdEngine::create_object(ProcessId creator, ProcessId newborn,
+                              SiteId site, bool is_root) {
+  add_process(newborn, site, is_root);
+  // The newborn's half of the exchange: it hands its own reference to its
+  // creator (rule 1 of §3.4) — this is the event the paper numbers e.g.
+  // e2,1 for "root 1 creates object 2".
+  logkeeping_.on_send_own_ref(process(newborn), creator);
+  // The reference travels back to the creator as a normal mutator message.
+  const std::uint64_t tid = ++transfer_counter_;
+  net_.send(site, site_of(creator), MessageKind::kReferencePass, 1,
+            [this, creator, newborn, tid]() {
+              if (!applied_transfers_.insert(tid).second) {
+                return;  // duplicated delivery: the transfer applied once
+              }
+              logkeeping_.on_receive_ref(process(creator), newborn);
+              if (on_ref_delivered_) {
+                on_ref_delivered_(creator, newborn);
+              }
+            });
+}
+
+void GgdEngine::send_own_ref(ProcessId i, ProcessId j) {
+  logkeeping_.on_send_own_ref(process(i), j);
+  const std::uint64_t tid = ++transfer_counter_;
+  net_.send(site_of(i), site_of(j), MessageKind::kReferencePass, 1,
+            [this, i, j, tid]() {
+    if (!applied_transfers_.insert(tid).second) {
+      return;
+    }
+    logkeeping_.on_receive_ref(process(j), i);
+    if (on_ref_delivered_) {
+      on_ref_delivered_(j, i);
+    }
+  });
+}
+
+void GgdEngine::send_third_party_ref(ProcessId i, ProcessId k, ProcessId j) {
+  logkeeping_.on_send_third_party_ref(process(i), k, j);
+  const std::uint64_t tid = ++transfer_counter_;
+  net_.send(site_of(i), site_of(j), MessageKind::kReferencePass, 1,
+            [this, j, k, tid]() {
+    if (!applied_transfers_.insert(tid).second) {
+      return;
+    }
+    logkeeping_.on_receive_ref(process(j), k);
+    if (on_ref_delivered_) {
+      on_ref_delivered_(j, k);
+    }
+  });
+}
+
+void GgdEngine::local_acquire(ProcessId j, ProcessId k) {
+  logkeeping_.on_receive_ref(process(j), k);
+  if (on_ref_delivered_) {
+    on_ref_delivered_(j, k);
+  }
+  if (site_of(j) == site_of(k)) {
+    // Co-located target: the site updates the target's self row in place
+    // (the paper's rule 1 runs at the exporting site synchronously).
+    logkeeping_.on_send_own_ref(process(k), j);
+  } else {
+    // Remote target: one asynchronous announce carries j's account of the
+    // new edge. Idempotent and unordered — not the race-prone eager
+    // control message of §2.3.
+    deliver_ggd(process(j).make_announce(k));
+  }
+}
+
+void GgdEngine::drop_ref(ProcessId j, ProcessId k) {
+  GgdMessage msg = logkeeping_.on_drop_ref(process(j), k);
+  deliver_ggd(std::move(msg));
+}
+
+void GgdEngine::deliver_ggd(GgdMessage msg) {
+  const MessageKind kind =
+      (msg.inquiry || msg.reply) ? MessageKind::kGgdInquiry
+      : msg.is_destruction()     ? MessageKind::kGgdDestruction
+                                 : MessageKind::kGgdVector;
+  const SiteId from = site_of(msg.from);
+  const SiteId to = site_of(msg.to);
+  net_.send(from, to, kind, msg.size_units(), [this, msg = std::move(msg)]() {
+    GgdProcess& target = process(msg.to);
+    if (msg.inquiry) {
+      // The hosting site answers inquiries; a collected target is answered
+      // posthumously with its death certificate.
+      ++participating_sites_[site_of(msg.to)];
+      if (target.removed()) {
+        GgdMessage certificate;
+        certificate.from = msg.to;
+        certificate.to = msg.from;
+        certificate.dead.insert(msg.to);
+        certificate.reply = true;
+        deliver_ggd(std::move(certificate));
+      } else {
+        deliver_ggd(target.make_reply(msg.from));
+      }
+      return;
+    }
+    if (target.removed()) {
+      return;
+    }
+    ++participating_sites_[site_of(msg.to)];
+    const bool was_removed = target.removed();
+    std::vector<GgdMessage> out = target.receive(
+        msg, [this](ProcessId p) { return root_flag_.at(p); });
+    if (!was_removed && target.removed()) {
+      removed_.push_back(msg.to);
+      if (on_removed_) {
+        on_removed_(msg.to);
+      }
+    }
+    dispatch_all(std::move(out));
+    schedule_flush(msg.to);
+  });
+}
+
+void GgdEngine::dispatch_all(std::vector<GgdMessage> msgs) {
+  for (auto& m : msgs) {
+    deliver_ggd(std::move(m));
+  }
+}
+
+void GgdEngine::schedule_flush(ProcessId p) {
+  if (!process(p).forward_pending() || flush_scheduled_.contains(p)) {
+    return;
+  }
+  flush_scheduled_.insert(p);
+  // Coalescing with exponential backoff: on a structure of diameter d the
+  // vector-time convergence delivers ~d incremental improvements to every
+  // member; flushing each would cost Θ(k·d) messages. Doubling the window
+  // per consecutive flush consolidates them into O(log d) sends per
+  // member (latency, not correctness, is traded), which is what keeps the
+  // §4 comparison's message count near-linear. The periodic sweep resets
+  // the window.
+  auto [it, inserted] = flush_delay_.emplace(p, SimTime{1});
+  const SimTime delay = it->second;
+  it->second = std::min<SimTime>(it->second * 2, 64);
+  net_.simulator().schedule_in(delay, [this, p]() {
+    flush_scheduled_.erase(p);
+    GgdProcess& proc = process(p);
+    if (proc.forward_pending()) {
+      dispatch_all(proc.take_forwards());
+    }
+  });
+}
+
+void GgdEngine::periodic_sweep() {
+  flush_delay_.clear();
+  for (auto& [id, proc] : procs_) {
+    (void)id;
+    if (proc.removed() || proc.is_root()) {
+      continue;
+    }
+    proc.reset_inquiry_gates();
+    const bool was_removed = proc.removed();
+    std::vector<GgdMessage> out =
+        proc.decide([this](ProcessId p) { return root_flag_.at(p); },
+                    /*allow_inquiry=*/true);
+    if (!was_removed && proc.removed()) {
+      removed_.push_back(proc.id());
+      if (on_removed_) {
+        on_removed_(proc.id());
+      }
+    }
+    dispatch_all(std::move(out));
+    schedule_flush(proc.id());
+  }
+}
+
+std::size_t GgdEngine::total_log_entries() const {
+  std::size_t n = 0;
+  for (const auto& [id, p] : procs_) {
+    (void)id;
+    if (!p.removed()) {
+      n += p.log().entry_count();
+    }
+  }
+  return n;
+}
+
+}  // namespace cgc

@@ -1,0 +1,144 @@
+// GgdEngine: hosts GGD processes on sites and drives the paper's
+// computation over the simulated network.
+//
+// This layer works directly at global-root-graph granularity (one process
+// per global root, §3.1): the object runtime maps object-level mutator
+// activity down to these operations, and the complexity benches and the
+// worked-example test use it directly.
+//
+// Mutator-level operations simulate both the real reference-carrying
+// message (MessageKind::kReferencePass, subject to network faults) and the
+// lazy log-keeping updates at each endpoint. GGD control messages produced
+// by `GgdProcess::receive` are forwarded through the same faulty network.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+#include "ggd/process.hpp"
+#include "logkeeping/lazy_logkeeping.hpp"
+#include "net/network.hpp"
+
+namespace cgc {
+
+class GgdEngine {
+ public:
+  GgdEngine(Network& net, LogKeepingMode mode = LogKeepingMode::kRobust)
+      : net_(net), logkeeping_(mode) {}
+
+  /// Registers a global root `id` living on `site`. Roots (`is_root`) are
+  /// entry points of the mutator and are never collected.
+  GgdProcess& add_process(ProcessId id, SiteId site, bool is_root);
+
+  [[nodiscard]] bool has_process(ProcessId id) const {
+    return procs_.contains(id);
+  }
+  [[nodiscard]] GgdProcess& process(ProcessId id);
+  [[nodiscard]] const GgdProcess& process(ProcessId id) const;
+  [[nodiscard]] SiteId site_of(ProcessId id) const;
+
+  [[nodiscard]] const std::map<ProcessId, GgdProcess>& processes() const {
+    return procs_;
+  }
+
+  // -- Mutator-level operations (each also performs lazy log-keeping) ----
+
+  /// `creator` allocates a new global root `newborn` on `site`
+  /// (edge creator → newborn). The newborn's half of the exchange runs
+  /// immediately; the reference travels back to `creator` by message.
+  void create_object(ProcessId creator, ProcessId newborn, SiteId site,
+                     bool is_root = false);
+
+  /// `i` sends its own reference to `j` (edge j → i).
+  void send_own_ref(ProcessId i, ProcessId j);
+
+  /// `i` forwards a reference denoting third party `k` to `j`
+  /// (edge j → k). No control message to `k` is sent (lazy, §3.4).
+  void send_third_party_ref(ProcessId i, ProcessId k, ProcessId j);
+
+  /// The edge j → k is destroyed (the mutator or local collector dropped
+  /// the last local reference): the edge-destruction control message is
+  /// emitted towards `k`, which is what triggers GGD (§3.6).
+  void drop_ref(ProcessId j, ProcessId k);
+
+  /// Edge registration from the local collector's summarisation: global
+  /// root j now reaches object k. For a co-located k both sides update
+  /// synchronously (zero messages, the paper's co-located rule 1); for a
+  /// remote k one asynchronous, idempotent edge-announce message carries
+  /// j's account to k (the object runtime layer's substitute for the
+  /// sender-side attribution it cannot compute — DESIGN.md §3).
+  void local_acquire(ProcessId j, ProcessId k);
+
+  /// One round of the periodic GGD sweep a deployed system runs alongside
+  /// local garbage collection: every live non-root process re-evaluates
+  /// its garbage decision with inquiry rate limits reset, so stale
+  /// verdicts left behind by quiesced cascades are re-verified. Message
+  /// cost stays proportional to unresolved structures.
+  void periodic_sweep();
+
+  // -- Observability ------------------------------------------------------
+
+  /// Every process removed by GGD so far, in removal order.
+  [[nodiscard]] const std::vector<ProcessId>& removed() const {
+    return removed_;
+  }
+
+  /// Number of distinct sites that handled at least one GGD control
+  /// message (consensus-bottleneck metric, T3).
+  [[nodiscard]] std::size_t participating_sites() const {
+    return participating_sites_.size();
+  }
+  /// Restarts participation accounting (benches reset after build phases).
+  void reset_participation() { participating_sites_.clear(); }
+
+  /// Total DV-log entries across live processes (space metric, T6).
+  [[nodiscard]] std::size_t total_log_entries() const;
+
+  /// Hook invoked when a process removes itself (the runtime uses this to
+  /// demote the global root so local GC can reclaim the object).
+  void set_on_removed(std::function<void(ProcessId)> hook) {
+    on_removed_ = std::move(hook);
+  }
+
+  /// Hook invoked when a reference actually arrives at its recipient —
+  /// i.e. when edge holder -> target of the global root graph comes into
+  /// existence. Test oracles key their ground truth on this (a dropped
+  /// reference-passing message must not count as an edge).
+  void set_on_ref_delivered(std::function<void(ProcessId, ProcessId)> hook) {
+    on_ref_delivered_ = std::move(hook);
+  }
+
+  [[nodiscard]] Network& network() { return net_; }
+  [[nodiscard]] const LazyLogKeeping& logkeeping() const {
+    return logkeeping_;
+  }
+
+ private:
+  void deliver_ggd(GgdMessage msg);
+  void dispatch_all(std::vector<GgdMessage> msgs);
+  void schedule_flush(ProcessId p);
+
+  Network& net_;
+  LazyLogKeeping logkeeping_;
+  std::map<ProcessId, GgdProcess> procs_;
+  std::map<ProcessId, SiteId> site_of_;
+  std::map<ProcessId, bool> root_flag_;
+  std::vector<ProcessId> removed_;
+  std::map<SiteId, std::uint64_t> participating_sites_;
+  std::set<ProcessId> flush_scheduled_;
+  std::map<ProcessId, SimTime> flush_delay_;
+  /// Reference transfers are applied exactly once: a duplicated
+  /// reference-passing message must not hand the recipient a reference its
+  /// mutator already dropped.
+  std::uint64_t transfer_counter_ = 0;
+  std::set<std::uint64_t> applied_transfers_;
+  std::function<void(ProcessId)> on_removed_;
+  std::function<void(ProcessId, ProcessId)> on_ref_delivered_;
+};
+
+}  // namespace cgc

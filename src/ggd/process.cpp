@@ -1,0 +1,447 @@
+#include "ggd/process.hpp"
+
+#include <set>
+
+#include "common/assert.hpp"
+
+namespace cgc {
+
+namespace {
+
+/// Replace-if-newer merge of a reported self row, versioned by the
+/// subject's own event counter (strictly monotone at the subject). An
+/// older report never clobbers a newer one — duplication and reordering
+/// are harmless (robustness, §5).
+void adopt_row(std::map<ProcessId, DependencyVector>& rows, ProcessId subject,
+               const DependencyVector& row) {
+  auto it = rows.find(subject);
+  if (it == rows.end()) {
+    rows.emplace(subject, row);
+    return;
+  }
+  const std::uint64_t stored = it->second.get(subject).index();
+  const std::uint64_t incoming = row.get(subject).index();
+  if (incoming > stored) {
+    it->second = row;
+  } else if (incoming == stored) {
+    // Same version: merge conservatively (a destruction marker at equal
+    // index wins inside Timestamp::merge).
+    it->second.merge(row);
+  }
+}
+
+}  // namespace
+
+std::vector<GgdMessage> GgdProcess::receive(
+    const GgdMessage& msg, const std::function<bool(ProcessId)>& is_root) {
+  CGC_CHECK(msg.to == id_);
+  if (removed_) {
+    // Late or duplicated messages to an already-collected root are ignored;
+    // idempotence of removal is part of the robustness claim (§5).
+    return {};
+  }
+  const ProcessId m = msg.from;
+  const Timestamp vm = msg.v.get(m);
+  inflight_inquiries_.erase(m);
+
+  // Death is a stable global fact and is relayed monotonically. State kept
+  // about a collected process will never be consulted again.
+  for (ProcessId q : msg.dead) {
+    if (q != id_ && dead_.insert(q).second) {
+      history_.erase(q);
+      known_rows_.erase(q);
+    }
+  }
+  // The sender's edge-precise in-edge row. An *empty* row is still an
+  // answer ("I have no in-edges") and must be stored, or a blocked walk
+  // re-blocks for ever on an eventless subject. Rows of dead processes are
+  // not resurrected.
+  if (!dead_.contains(m)) {
+    adopt_row(known_rows_, m, msg.self_row);
+  }
+  // Relayed rows (versioned facts, replace-if-newer).
+  for (const auto& [q, row] : msg.rows) {
+    if (q != id_ && q != m && !dead_.contains(q)) {
+      adopt_row(known_rows_, q, row);
+    }
+  }
+
+  // Deferred third-party edge-creation entries logged on our behalf are
+  // merged on every message, not only with the final destruction bundle.
+  merge_edge_facts(msg.behalf, /*skip=*/m);
+
+  const Timestamp known_m = log_.self_row().get(m);
+  if (msg.reply) {
+    // An inquiry answer: certifies the sender's history and row without
+    // implying any edge m -> i.
+    history_[m].merge(msg.v);
+    if (msg.has_out_edges && !msg.out_edges.contains(id_)) {
+      const Timestamp cur = log_.self_row().get(m);
+      if (!cur.is_delta()) {
+        // Fresh refutation: the responder does not hold an edge to us, so
+        // the live claim for slot m — resurrected or left over from a lost
+        // destruction message — is masked. Any forwarder still racing a
+        // reference of us towards m remains a live slot of its own and
+        // keeps blocking removal until its atomic bundle re-announces the
+        // edge, which re-resurrects and re-verifies.
+        const std::uint64_t version =
+            std::max(cur.index(), msg.self_row.get(m).index());
+        log_.self_row().set(m, Timestamp::destruction(version));
+        resurrected_.erase(m);
+      }
+    }
+  } else if (vm.destroyed() && vm.supersedes(known_m)) {
+    // Edge-destruction log-keeping event at this process (Fig. 6, first
+    // branch): a new local event, then the whole message vector merges into
+    // the self row. A destruction message carries only edge facts — the
+    // sender's destruction marker plus any deferred third-party
+    // edge-creation entries bundled for atomic delivery (§3.4) — so every
+    // slot of `msg.v` legitimately describes an incoming edge of this
+    // process. The marker masks every creation entry for `m` with index
+    // <= its own.
+    log_.new_local_event();
+    log_.self_row().merge_entry(m, vm);
+    resurrected_.erase(m);
+    merge_edge_facts(msg.v, /*skip=*/m);
+  } else {
+    // Vector-propagation message (or stale destruction): slot `m` is the
+    // edge fact (the sender holds an edge m -> i, or it would not be
+    // forwarding its vector here); the vector as a whole is m's own account
+    // of its causal history and goes into the history map, NOT into the
+    // self row — conflating the two lets transitive entries masquerade as
+    // incoming edges (DESIGN.md §2).
+    if (vm.supersedes(log_.self_row().get(m))) {
+      resurrected_.erase(m);
+    }
+    log_.self_row().merge_entry(m, vm);
+    history_[m].merge(msg.v);
+  }
+
+  const DependencyVector v = compute_v();
+
+  std::vector<GgdMessage> out;
+  if (!(v == last_v_)) {
+    // The approximation improved: it must circulate along the out-bound
+    // edges of the global root graph (Fig. 6 / §3.3 step 3). The engine
+    // coalesces the actual sends (one consolidated vector per process per
+    // tick) so a burst of partial improvements does not multiply traffic.
+    last_v_ = v;
+    forward_pending_ = true;
+  }
+
+  // Garbage decision: edge-precise reachability over the replicated
+  // in-edge rows. The aggregate vector time V cannot be used on its own —
+  // a destruction marker for one edge of q would mask a live entry for a
+  // different edge of q (DESIGN.md §2) — but it remains the quantity the
+  // paper's figures show and what triggers propagation above.
+  std::vector<GgdMessage> decision = decide(is_root, /*allow_inquiry=*/false);
+  out.insert(out.end(), decision.begin(), decision.end());
+  return out;
+}
+
+std::vector<GgdMessage> GgdProcess::take_forwards() {
+  forward_pending_ = false;
+  std::vector<GgdMessage> out;
+  if (removed_) {
+    return out;
+  }
+  out.reserve(acquaintances_.size());
+  for (ProcessId k : acquaintances_) {
+    GgdMessage fwd;
+    fwd.from = id_;
+    fwd.to = k;
+    fwd.v = last_v_;
+    fwd.self_row = log_.self_row();
+    fwd.behalf = log_.row(k);
+    fwd.rows = known_rows_;
+    fwd.dead = dead_;
+    out.push_back(std::move(fwd));
+  }
+  return out;
+}
+
+std::vector<GgdMessage> GgdProcess::decide(
+    const std::function<bool(ProcessId)>& is_root, bool allow_inquiry) {
+  std::vector<GgdMessage> out;
+  if (is_root_ || removed_) {
+    return out;
+  }
+  std::set<ProcessId> missing;
+  std::set<ProcessId> root_evidence;
+  const WalkResult res = walk_to_root(is_root, missing, root_evidence);
+  if (!allow_inquiry && res != WalkResult::kUnreachable) {
+    return out;
+  }
+  if (res == WalkResult::kReachable) {
+    // A live-root verdict resting on replicated rows may be stale (the
+    // replica predates the root's own edge destruction). Re-verify each
+    // supporting replica at most once per version: a fresh reply either
+    // confirms genuine liveness or reflects the destruction marker and
+    // lets the collection proceed.
+    for (ProcessId q : root_evidence) {
+      auto rit = known_rows_.find(q);
+      const std::uint64_t version =
+          rit == known_rows_.end()
+              ? std::max<std::uint64_t>(1, log_.self_row().get(q).index())
+              : rit->second.get(q).index();
+      auto [vit, fresh] = inquired_version_.emplace(q, version);
+      if (fresh || vit->second < version) {
+        vit->second = version;
+        GgdMessage inq;
+        inq.from = id_;
+        inq.to = q;
+        inq.inquiry = true;
+        out.push_back(std::move(inq));
+      }
+    }
+  } else if (res == WalkResult::kUnreachable) {
+    // No live path of edges from any actual root: garbage. Garbage being
+    // a stable property (§5), the decision is final. Finalise by
+    // cascading edge-destruction messages to all successors.
+    std::vector<GgdMessage> fin = remove_self();
+    out.insert(out.end(), fin.begin(), fin.end());
+  } else {
+    // Demand-driven completion: ask each unknown transitive predecessor
+    // for its row. Its reply — or its hosting site's posthumous death
+    // certificate — eventually unblocks structures whose only informants
+    // have long quiesced. Inquiry traffic is proportional to the blocked
+    // structure, preserving the no-consensus scalability story.
+    for (ProcessId q : missing) {
+      // At most one outstanding inquiry per subject: any message from the
+      // subject (its reply included) clears the gate, so a subject that
+      // stays missing is eventually re-asked, while a burst of unrelated
+      // replies cannot re-trigger a storm of duplicates.
+      inquired_.insert(q);
+      if (inflight_inquiries_.insert(q).second) {
+        GgdMessage inq;
+        inq.from = id_;
+        inq.to = q;
+        inq.inquiry = true;
+        out.push_back(std::move(inq));
+      }
+    }
+  }
+  return out;
+}
+
+void GgdProcess::reset_inquiry_gates() {
+  inquired_.clear();
+  inquired_version_.clear();
+  inflight_inquiries_.clear();
+}
+
+void GgdProcess::merge_edge_facts(const DependencyVector& facts,
+                                  ProcessId skip) {
+  for (const auto& [q, ts] : facts.entries()) {
+    if (q == skip || q == id_ || ts.is_delta()) {
+      continue;
+    }
+    const Timestamp cur = log_.self_row().get(q);
+    if (cur.destroyed() && cur.index() >= ts.index()) {
+      // Conservative resurrection (DESIGN.md §2): the on-behalf entry
+      // announces an edge q -> i, but third parties assign indexes from
+      // stale views, so a *re-created* edge can arrive numerically below
+      // an older destruction marker for a previous edge from the same
+      // process. Masking it would lose a live path (the rescue race).
+      // Keep it alive just above the marker: if the edge is in fact gone,
+      // q's own next destruction (true counter, strictly newer) or q's
+      // death certificate re-masks it — genuine garbage is collected,
+      // merely later.
+      log_.self_row().set(q, Timestamp::creation(cur.index() + 1));
+      resurrected_.insert(q);
+    } else {
+      const Timestamp before = log_.self_row().get(q);
+      log_.self_row().merge_entry(q, ts);
+      if (log_.self_row().get(q).supersedes(before)) {
+        // Genuinely newer information supersedes a resurrection.
+        resurrected_.erase(q);
+      }
+    }
+  }
+}
+
+GgdProcess::WalkResult GgdProcess::walk_to_root(
+    const std::function<bool(ProcessId)>& is_root,
+    std::set<ProcessId>& missing, std::set<ProcessId>& root_evidence) const {
+  std::set<ProcessId> visited{id_};
+  // Stack of (process, subject of the row that contributed it); the
+  // invalid id marks entries contributed by our own self row.
+  std::vector<std::pair<ProcessId, ProcessId>> stack;
+  bool reachable = false;
+  auto push_live_slots = [&](const DependencyVector& row, ProcessId source) {
+    for (const auto& [q, ts] : row.entries()) {
+      if (!ts.is_delta() && !dead_.contains(q) && !visited.contains(q)) {
+        stack.emplace_back(q, source);
+      }
+    }
+  };
+  push_live_slots(log_.self_row(), ProcessId{});
+  bool blocked = false;
+  while (!stack.empty()) {
+    const auto [q, source] = stack.back();
+    stack.pop_back();
+    if (is_root(q)) {
+      reachable = true;
+      if (source.valid()) {
+        root_evidence.insert(source);
+      } else if (resurrected_.contains(q)) {
+        // A resurrected root claim in our own self row: conservative, but
+        // it must be re-verified with the root itself or it pins this
+        // process alive for ever on a stale announcement.
+        root_evidence.insert(q);
+      } else {
+        // Our own self row holds a live, genuinely delivered root edge:
+        // authoritative, no re-verification needed.
+        root_evidence.clear();
+        return WalkResult::kReachable;
+      }
+      continue;
+    }
+    if (!visited.insert(q).second) {
+      continue;
+    }
+    auto it = known_rows_.find(q);
+    if (it == known_rows_.end()) {
+      // Unknown predecessor: cannot prove this path dead. Conservatively
+      // blocked until q's row arrives.
+      missing.insert(q);
+      blocked = true;
+      continue;
+    }
+    push_live_slots(it->second, q);
+  }
+  if (reachable) {
+    return WalkResult::kReachable;
+  }
+  return blocked ? WalkResult::kBlocked : WalkResult::kUnreachable;
+}
+
+DependencyVector GgdProcess::compute_v() const {
+  // Seed with the self row *including* destruction markers: a marker E(t)
+  // occupies its slot with numeric index t, so the closure below can only
+  // replace it with a strictly newer creation entry — this is what the
+  // paper's figures show circulating. (The garbage decision itself uses
+  // the edge-precise walk above, not this aggregate.)
+  //
+  // Worklist closure rather than the paper's literal recursion: expanding
+  // each known process's history exactly once computes the same transitive
+  // merge while terminating on cyclic global root graphs — the structures
+  // this algorithm exists to collect.
+  DependencyVector v;
+  for (const auto& [q, ts] : log_.self_row().entries()) {
+    // Self-row entries of dead processes are elided: a collected process
+    // has no outgoing edges, so the edge it once held to us is gone even
+    // if its destruction message was lost.
+    if (q == id_ || !dead_.contains(q)) {
+      v.set(q, ts);
+    }
+  }
+  std::vector<ProcessId> stack;
+  std::set<ProcessId> expanded{id_};
+  for (const auto& [q, ts] : v.entries()) {
+    if (q != id_ && !ts.is_delta()) {
+      stack.push_back(q);
+    }
+  }
+  while (!stack.empty()) {
+    const ProcessId p = stack.back();
+    stack.pop_back();
+    if (!expanded.insert(p).second) {
+      continue;
+    }
+    auto it = history_.find(p);
+    if (it == history_.end()) {
+      continue;
+    }
+    for (const auto& [q, alpha] : it->second.entries()) {
+      if (q == p || q == id_ || alpha.is_delta() || dead_.contains(q)) {
+        // Destruction markers inside a history describe edges of *that*
+        // process, not ours; entries of dead processes contribute nothing.
+        continue;
+      }
+      const Timestamp cur = v.get(q);
+      if (alpha.index() > cur.index()) {
+        v.set(q, alpha);
+        stack.push_back(q);
+      } else if (alpha.index() == cur.index() && !cur.destroyed()) {
+        stack.push_back(q);
+      }
+    }
+  }
+  return v;
+}
+
+bool GgdProcess::reachable_from_root(
+    const DependencyVector& v, const std::function<bool(ProcessId)>& is_root) {
+  for (const auto& [p, ts] : v.entries()) {
+    if (!ts.is_delta() && is_root(p)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+GgdMessage GgdProcess::make_destruction_message(ProcessId to) const {
+  // §3.4: the edge-destruction control message from i to k carries the row
+  // DV_i[k] maintained on behalf of k — thereby atomically delivering every
+  // deferred third-party edge-creation entry — with slot i replaced by a
+  // destruction-marked copy of i's own latest event index. The sender's
+  // own in-edge row and death knowledge ride along so a finalisation
+  // cascade can unblock downstream decisions.
+  GgdMessage msg;
+  msg.from = id_;
+  msg.to = to;
+  msg.v = log_.row(to);
+  msg.v.set(id_, Timestamp::destruction(log_.own_timestamp().index()));
+  msg.self_row = log_.self_row();
+  msg.rows = known_rows_;
+  msg.dead = dead_;
+  return msg;
+}
+
+GgdMessage GgdProcess::make_announce(ProcessId to) const {
+  GgdMessage msg;
+  msg.from = id_;
+  msg.to = to;
+  // Always freshly computed: a cached approximation may predate the very
+  // acquisition this announce reports, and an announce whose vector lacks
+  // a live slot for its own sender tells the target nothing.
+  msg.v = compute_v();
+  msg.self_row = log_.self_row();
+  msg.behalf = log_.row(to);
+  msg.rows = known_rows_;
+  msg.dead = dead_;
+  return msg;
+}
+
+GgdMessage GgdProcess::make_reply(ProcessId to) const {
+  GgdMessage msg;
+  msg.from = id_;
+  msg.to = to;
+  msg.v = compute_v();
+  msg.self_row = log_.self_row();
+  msg.behalf = log_.row(to);
+  msg.rows = known_rows_;
+  msg.dead = dead_;
+  msg.reply = true;
+  msg.has_out_edges = true;
+  msg.out_edges = acquaintances_;
+  return msg;
+}
+
+std::vector<GgdMessage> GgdProcess::remove_self() {
+  CGC_CHECK(!removed_);
+  CGC_CHECK_MSG(!is_root_, "an actual root can never be removed by GGD");
+  // Announce our own death in the finalisation messages so receivers (and
+  // their transitive correspondents) purge our lingering entries.
+  dead_.insert(id_);
+  std::vector<GgdMessage> out;
+  out.reserve(acquaintances_.size());
+  for (ProcessId k : acquaintances_) {
+    out.push_back(make_destruction_message(k));
+  }
+  removed_ = true;
+  return out;
+}
+
+}  // namespace cgc

@@ -1,0 +1,261 @@
+// One logical process of the GGD computation — the state a global root
+// keeps and the paper's algorithm (Fig. 6) over it.
+//
+// A GgdProcess owns:
+//   * the two-dimensional log DV_i (DvLog),
+//   * its acquaintance set (targets of its outgoing edges in the global
+//     root graph — the "remote successors" Fig. 6 forwards vectors to),
+//   * its root flag (actual roots are never collected by GGD),
+//   * its removed flag (set exactly once, when GGD proves the root
+//     unreachable).
+//
+// Log-keeping entry points (§3.4, lazy) are in logkeeping/lazy_logkeeping.*;
+// they mutate this state from the mutator side. This class implements the
+// *detector* side: Receive, ComputeV, the garbage decision and the
+// finalisation (edge-destruction) cascade.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "vclock/dv_log.hpp"
+
+namespace cgc {
+
+/// A GGD control message: the dependency vector `v` sent from process
+/// `from`. If `v[from]` is destruction-marked this is an edge-destruction
+/// control message (possibly bundling deferred third-party edge-creation
+/// entries, §3.4); otherwise it is a vector-propagation message (§3.3
+/// step 3).
+///
+/// `self_row` is the sender's self row — its DDV of *edge facts* (slot q =
+/// latest known state of edge q -> sender, destruction-marked when that
+/// edge died). Receivers accumulate these rows; the garbage decision walks
+/// them as a replicated, edge-precise image of the global root graph's
+/// in-edges. This is the load-bearing refinement over the paper's 8-page
+/// presentation: an aggregated vector time cannot distinguish two edges
+/// held by the same process, so a destruction marker for one of them would
+/// mask the other (DESIGN.md §2 records the failure cases that pinned this
+/// design).
+struct GgdMessage {
+  ProcessId from;
+  ProcessId to;
+  DependencyVector v;
+  DependencyVector self_row;
+  /// Deferred third-party edge-creation entries the sender logged on the
+  /// receiver's behalf (§3.4). The paper delivers these only bundled with
+  /// the final edge-destruction message; attaching the current behalf row
+  /// to *every* message (still zero additional messages) closes the race
+  /// between a vector forward and the pending bundle that would have
+  /// rescued the receiver.
+  DependencyVector behalf;
+  /// Relayed in-edge rows of other processes, versioned by their subjects'
+  /// own counters. Rows flooding along the cascade is what keeps the
+  /// message COUNT of collecting a k-element structure at O(k) (§4's
+  /// comparison): without relaying, every member must inquire every other
+  /// member's row — O(k^2) messages. Message size grows instead, exactly
+  /// like the paper's circulating dependency vectors.
+  std::map<ProcessId, DependencyVector> rows;
+  /// Processes known to have been collected. Death is a stable global
+  /// fact (a removed global root has no edges and will never be revived),
+  /// so it propagates monotonically on every message; it is what clears
+  /// lingering live entries of long-collected processes out of circulated
+  /// histories.
+  std::set<ProcessId> dead;
+  /// Demand-driven completion (DESIGN.md §2): a process whose garbage
+  /// decision is blocked on an entry it cannot vouch sends an inquiry to
+  /// the entry's subject; the subject replies with its certified history
+  /// (`reply`), or its hosting site replies posthumously with a death
+  /// certificate. Inquiries are sent at most once per subject, so the
+  /// extra traffic stays proportional to the amount of garbage.
+  bool inquiry = false;
+  /// Marks a message that answers an inquiry: it certifies the sender's
+  /// history but must NOT be read as evidence of an edge sender -> to.
+  bool reply = false;
+  /// Replies carry the responder's out-edge set (its acquaintances), so an
+  /// inquirer can verify a resurrected edge claim: a fresh "I do not hold
+  /// you" refutes the claimed edge responder -> inquirer (and also heals a
+  /// lost destruction message).
+  bool has_out_edges = false;
+  std::set<ProcessId> out_edges;
+
+  [[nodiscard]] bool is_destruction() const {
+    return v.get(from).destroyed();
+  }
+
+  /// Abstract wire size (for message accounting).
+  [[nodiscard]] std::size_t size_units() const {
+    std::size_t n = v.size() + self_row.size() + behalf.size() + dead.size();
+    for (const auto& [q, row] : rows) {
+      (void)q;
+      n += 1 + row.size();
+    }
+    return n;
+  }
+};
+
+class GgdProcess {
+ public:
+  GgdProcess(ProcessId id, bool is_root)
+      : id_(id), is_root_(is_root), log_(id) {}
+
+  [[nodiscard]] ProcessId id() const { return id_; }
+  [[nodiscard]] bool is_root() const { return is_root_; }
+  [[nodiscard]] bool removed() const { return removed_; }
+
+  [[nodiscard]] DvLog& log() { return log_; }
+  [[nodiscard]] const DvLog& log() const { return log_; }
+
+  [[nodiscard]] const std::set<ProcessId>& acquaintances() const {
+    return acquaintances_;
+  }
+  void add_acquaintance(ProcessId q) { acquaintances_.insert(q); }
+  void remove_acquaintance(ProcessId q) { acquaintances_.erase(q); }
+
+  /// The paper's `Receive(i, v, m)` (Fig. 6, reconstruction documented in
+  /// DESIGN.md §2). Returns the control messages to send; whether this
+  /// process decided it is garbage is observable via `removed()`.
+  ///
+  /// Idempotent: processing a duplicate of any previously processed message
+  /// produces no state change and no output (tested, not assumed).
+  [[nodiscard]] std::vector<GgdMessage> receive(
+      const GgdMessage& msg, const std::function<bool(ProcessId)>& is_root);
+
+  /// ComputeV (Fig. 6): the best vector-time approximation of this
+  /// process's latest log-keeping event derivable from the local log alone.
+  /// Seeded with the self row (destruction markers included — they act as
+  /// floors that prevent stale third-party rows from resurrecting masked
+  /// entries), then closed transitively over the log's rows.
+  [[nodiscard]] DependencyVector compute_v() const;
+
+  /// True iff `v` contains at least one live (non-Δ) entry of an actual
+  /// root — the paper's `∃k : ¬Δ(V[k]) ∧ root(V[k])`.
+  [[nodiscard]] static bool reachable_from_root(
+      const DependencyVector& v, const std::function<bool(ProcessId)>& is_root);
+
+  /// Builds the finalisation messages this process sends when it removes
+  /// itself (or when the mutator side destroys one specific edge — see
+  /// lazy_logkeeping). Exposed for the destructor cascade and for tests.
+  [[nodiscard]] GgdMessage make_destruction_message(ProcessId to) const;
+
+  /// Marks the process removed and returns the finalisation cascade
+  /// messages (one edge-destruction message per acquaintance).
+  [[nodiscard]] std::vector<GgdMessage> remove_self();
+
+  /// Builds the answer to an inquiry: this process's current vector-time
+  /// approximation, vouchers and death knowledge, flagged as a reply so
+  /// the inquirer does not mistake it for an edge fact.
+  [[nodiscard]] GgdMessage make_reply(ProcessId to) const;
+
+  /// Builds an edge announce: a regular vector message to `to` asserting
+  /// the newly created edge this -> to (the runtime layer sends one per
+  /// new summarised global-root-graph edge; asynchronous and idempotent).
+  [[nodiscard]] GgdMessage make_announce(ProcessId to) const;
+
+  /// True iff a vector received directly from `q` has been merged into the
+  /// history map — i.e. we hold `q`'s own account of its causal history
+  /// rather than (only) entries logged on `q`'s behalf by third parties.
+  [[nodiscard]] bool row_certified(ProcessId q) const {
+    return history_.contains(q);
+  }
+  void decertify_row(ProcessId q) {
+    history_.erase(q);
+    known_rows_.erase(q);
+  }
+
+  /// The edge-precise in-edge row of `q` as last reported by `q` itself
+  /// (replace-if-newer by q's own event counter). Empty row if unknown.
+  [[nodiscard]] const DependencyVector* known_row(ProcessId q) const {
+    auto it = known_rows_.find(q);
+    return it == known_rows_.end() ? nullptr : &it->second;
+  }
+
+  /// Outcome of the edge-precise reachability walk over known self rows.
+  enum class WalkResult { kReachable, kUnreachable, kBlocked };
+
+  /// Walks the replicated in-edge rows from this process's live incoming
+  /// edges towards the roots. kBlocked means some transitive predecessor's
+  /// row is missing; `missing` receives those processes (inquiry targets).
+  /// On kReachable, `root_evidence` receives the subjects of the replica
+  /// rows that supplied the live root entries (empty when the evidence is
+  /// this process's own self row, which is authoritative).
+  [[nodiscard]] WalkResult walk_to_root(
+      const std::function<bool(ProcessId)>& is_root,
+      std::set<ProcessId>& missing, std::set<ProcessId>& root_evidence) const;
+
+  /// Runs the garbage decision (walk + removal or inquiries) without a
+  /// triggering message. Used by the periodic sweep that models the
+  /// ongoing local-GC / GGD activity of a deployed system (§5's answer to
+  /// unbounded detection latency).
+  /// `allow_inquiry` is set by the periodic sweep only: during an active
+  /// cascade the missing information is already on its way in relayed
+  /// rows, and inquiring for it would multiply traffic; after quiescence
+  /// the sweep's inquiries are the stall-recovery mechanism.
+  [[nodiscard]] std::vector<GgdMessage> decide(
+      const std::function<bool(ProcessId)>& is_root, bool allow_inquiry);
+
+  /// True when this process's vector time improved since its last flush —
+  /// the engine coalesces forwards (one per process per delivery tick), so
+  /// a wave of partial updates leaves as ONE consolidated vector. This is
+  /// what keeps the §4 message complexity linear in the garbage size.
+  [[nodiscard]] bool forward_pending() const { return forward_pending_; }
+
+  /// Builds the coalesced forwards (current V + rows to every
+  /// acquaintance) and clears the pending flag.
+  [[nodiscard]] std::vector<GgdMessage> take_forwards();
+
+  /// Clears the inquiry rate-limiting state so a sweep can re-verify stale
+  /// verdicts.
+  void reset_inquiry_gates();
+
+  /// Certified causal histories of other processes, keyed by sender. Kept
+  /// separate from the on-behalf rows in `log_`: the self row and the
+  /// behalf rows hold *edge facts* of the global root graph; this map holds
+  /// *claims about reachability history* received from their subjects.
+  [[nodiscard]] const std::map<ProcessId, DependencyVector>& history() const {
+    return history_;
+  }
+
+ private:
+ public:
+  [[nodiscard]] const std::set<ProcessId>& dead() const { return dead_; }
+
+ private:
+  /// Merges announced edge facts (bundled or per-message behalf entries)
+  /// into the self row with conservative resurrection of entries that an
+  /// older destruction marker would otherwise mask.
+  void merge_edge_facts(const DependencyVector& facts, ProcessId skip);
+
+
+  ProcessId id_;
+  bool is_root_;
+  DvLog log_;
+  std::map<ProcessId, DependencyVector> history_;
+  std::map<ProcessId, DependencyVector> known_rows_;
+  std::set<ProcessId> dead_;
+  std::set<ProcessId> inquired_;
+  /// Inquiries currently outstanding: at most one in flight per subject
+  /// (cleared when any message from the subject arrives, or by the
+  /// periodic sweep). Without this, every reply re-inquires every other
+  /// still-missing subject and traffic grows combinatorially.
+  std::set<ProcessId> inflight_inquiries_;
+  /// Self-row slots whose live entry came from conservative resurrection
+  /// (an announced edge fact that an existing destruction marker would
+  /// have masked). Such entries are not authoritative: a root claim among
+  /// them is re-verified by inquiring the subject before it can pin this
+  /// process alive for ever.
+  std::set<ProcessId> resurrected_;
+  /// Per subject: the row version at which a reachable-via-replica verdict
+  /// was last re-verified by inquiry. A stale replica claiming a live root
+  /// edge is refreshed at most once per version.
+  std::map<ProcessId, std::uint64_t> inquired_version_;
+  bool forward_pending_ = false;
+  DependencyVector last_v_;
+  std::set<ProcessId> acquaintances_;
+  bool removed_ = false;
+};
+
+}  // namespace cgc

@@ -1,0 +1,75 @@
+// Per-kind message accounting (sent / delivered / dropped / duplicated /
+// bytes). The quantities the paper's scalability claims are stated in.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "net/message.hpp"
+
+namespace cgc {
+
+class MessageStats {
+ public:
+  struct Counters {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t units_sent = 0;  // size hints, abstract payload units
+  };
+
+  void on_send(MessageKind k, std::size_t size_hint) {
+    auto& c = at(k);
+    ++c.sent;
+    c.units_sent += size_hint;
+  }
+  void on_drop(MessageKind k) { ++at(k).dropped; }
+  void on_duplicate(MessageKind k) { ++at(k).duplicated; }
+  void on_deliver(MessageKind k) { ++at(k).delivered; }
+
+  [[nodiscard]] const Counters& of(MessageKind k) const {
+    return counters_[static_cast<std::size_t>(k)];
+  }
+
+  /// Total control-plane (GGD / log-keeping) messages sent.
+  [[nodiscard]] std::uint64_t control_sent() const {
+    std::uint64_t n = 0;
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+      if (is_control(static_cast<MessageKind>(i))) {
+        n += counters_[i].sent;
+      }
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::uint64_t total_sent() const {
+    std::uint64_t n = 0;
+    for (const auto& c : counters_) {
+      n += c.sent;
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::uint64_t control_units_sent() const {
+    std::uint64_t n = 0;
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+      if (is_control(static_cast<MessageKind>(i))) {
+        n += counters_[i].units_sent;
+      }
+    }
+    return n;
+  }
+
+  void reset() { counters_ = {}; }
+
+ private:
+  Counters& at(MessageKind k) {
+    return counters_[static_cast<std::size_t>(k)];
+  }
+
+  std::array<Counters, static_cast<std::size_t>(MessageKind::kCount)>
+      counters_{};
+};
+
+}  // namespace cgc

@@ -1,0 +1,48 @@
+// Message taxonomy for accounting.
+//
+// Every network send is tagged with a kind so the benches can report
+// exactly the quantities the paper argues about: mutator traffic vs GGD
+// control traffic, and GGD traffic per algorithm.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace cgc {
+
+enum class MessageKind : std::uint8_t {
+  kMutator,           // application payload carrying no references
+  kReferencePass,     // application payload carrying object references
+  kGgdVector,         // our algorithm: dependency-vector propagation
+  kGgdDestruction,    // our algorithm: edge-destruction control message
+  kGgdInquiry,        // our algorithm: blocked-decision inquiry + reply
+  kEagerControl,      // eager log-keeping extra control message (§2.3)
+  kSchelvisPacket,    // Schelvis baseline: timestamp packet
+  kTracingControl,    // tracing baseline: mark/sweep/termination traffic
+  kWrcControl,        // weighted-reference-counting baseline traffic
+  kCount,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(MessageKind k) {
+  constexpr std::array<std::string_view,
+                       static_cast<std::size_t>(MessageKind::kCount)>
+      names{"mutator",         "reference_pass", "ggd_vector",
+            "ggd_destruction", "ggd_inquiry",    "eager_control",
+            "schelvis_packet", "tracing_control", "wrc_control"};
+  return names[static_cast<std::size_t>(k)];
+}
+
+/// True for kinds that belong to garbage detection rather than the
+/// application (used for "GGD message complexity" tables).
+[[nodiscard]] constexpr bool is_control(MessageKind k) {
+  switch (k) {
+    case MessageKind::kMutator:
+    case MessageKind::kReferencePass:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace cgc

@@ -1,0 +1,45 @@
+// Managed objects: vertices of the distributed object graph (§2).
+//
+// An object is "a contiguous portion of address space and a container of
+// references to other objects". Slots hold ObjectIds; whether a referenced
+// object is local or remote (via proxy) is a property of the owning site's
+// tables, not of the reference itself.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cgc {
+
+class ManagedObject {
+ public:
+  explicit ManagedObject(ObjectId id) : id_(id) {}
+
+  [[nodiscard]] ObjectId id() const { return id_; }
+
+  [[nodiscard]] const std::vector<ObjectId>& slots() const { return slots_; }
+
+  void add_ref(ObjectId target) { slots_.push_back(target); }
+
+  /// Removes one reference to `target`; returns false if none was held.
+  bool remove_ref(ObjectId target) {
+    auto it = std::find(slots_.begin(), slots_.end(), target);
+    if (it == slots_.end()) {
+      return false;
+    }
+    slots_.erase(it);
+    return true;
+  }
+
+  [[nodiscard]] bool references(ObjectId target) const {
+    return std::find(slots_.begin(), slots_.end(), target) != slots_.end();
+  }
+
+ private:
+  ObjectId id_;
+  std::vector<ObjectId> slots_;
+};
+
+}  // namespace cgc

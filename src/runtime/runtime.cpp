@@ -1,0 +1,317 @@
+#include "runtime/runtime.hpp"
+
+#include <utility>
+
+namespace cgc {
+
+SiteId DistributedRuntime::add_site() {
+  const SiteId id{++next_site_};
+  sites_.emplace(id, Site(id));
+  edges_[id];
+  return id;
+}
+
+ObjectId DistributedRuntime::create_root_object(SiteId site_id) {
+  Site& s = site(site_id);
+  const ObjectId id{++next_object_};
+  s.add_object(id);
+  s.add_local_root(id);
+  owner_[id] = site_id;
+  // A local root is an actual root of the object graph; it participates in
+  // GGD as a root process so that paths from it keep remote objects alive.
+  const ProcessId pid{++next_process_};
+  engine_.add_process(pid, site_id, /*is_root=*/true);
+  process_for_[id] = pid;
+  object_for_[pid] = id;
+  return id;
+}
+
+ObjectId DistributedRuntime::create_object(SiteId site_id, ObjectId creator) {
+  CGC_CHECK(owner_of(creator) == site_id);
+  Site& s = site(site_id);
+  const ObjectId id{++next_object_};
+  s.add_object(id);
+  owner_[id] = site_id;
+  s.object(creator).add_ref(id);
+  return id;
+}
+
+void DistributedRuntime::add_local_ref(ObjectId from, ObjectId to) {
+  const SiteId site_id = owner_of(from);
+  Site& s = site(site_id);
+  CGC_CHECK_MSG(s.has_object(from), "holder must live on its site");
+  CGC_CHECK_MSG(s.has_object(to) || s.has_proxy(to),
+                "local ref target must be a local object or a held proxy");
+  s.object(from).add_ref(to);
+  refresh_edges(site_id);
+}
+
+void DistributedRuntime::drop_ref(ObjectId from, ObjectId to) {
+  const SiteId site_id = owner_of(from);
+  Site& s = site(site_id);
+  const bool removed = s.object(from).remove_ref(to);
+  CGC_CHECK_MSG(removed, "cannot drop a reference that is not held");
+  // Edge bookkeeping (and proxy release) happens at the next local GC, as
+  // in the paper: destruction messages are emitted when the *collector*
+  // frees the proxy, not when the mutator overwrites a slot.
+}
+
+void DistributedRuntime::send_ref(ObjectId sender, ObjectId recipient,
+                                  ObjectId target) {
+  const SiteId from_site = owner_of(sender);
+  Site& a = site(from_site);
+  CGC_CHECK_MSG(a.object(sender).references(target),
+                "sender must hold the reference it sends");
+  const SiteId to_site = owner_of(recipient);
+  if (to_site == from_site) {
+    a.object(recipient).add_ref(target);
+    refresh_edges(from_site);
+    return;
+  }
+  // The reference crosses a site boundary: the target becomes (or already
+  // is) a global root.
+  if (owner_of(target) == from_site) {
+    ensure_exported(target);
+  }
+  net_.send(from_site, to_site, MessageKind::kReferencePass, 1,
+            [this, recipient, target, to_site]() {
+              Site& b = site(to_site);
+              if (!b.has_object(recipient)) {
+                return;  // recipient was collected while the message flew
+              }
+              if (owner_of(target) != to_site && !b.has_proxy(target)) {
+                b.add_proxy(target);
+              }
+              b.object(recipient).add_ref(target);
+              refresh_edges(to_site);
+            });
+}
+
+ProcessId DistributedRuntime::ensure_exported(ObjectId target) {
+  const SiteId home = owner_of(target);
+  Site& s = site(home);
+  if (s.is_exported(target)) {
+    return process_for_.at(target);
+  }
+  s.add_export(target);
+  if (auto it = process_for_.find(target); it != process_for_.end()) {
+    return it->second;  // local roots already have a (root) process
+  }
+  // Fresh process id per export generation: a re-exported object gets a
+  // new identity, so stale death certificates for the old one stay valid.
+  const ProcessId pid{++next_process_};
+  engine_.add_process(pid, home, /*is_root=*/false);
+  process_for_[target] = pid;
+  object_for_[pid] = target;
+  return pid;
+}
+
+ProcessId DistributedRuntime::process_of(ObjectId id) const {
+  auto it = process_for_.find(id);
+  return it == process_for_.end() ? ProcessId{} : it->second;
+}
+
+void DistributedRuntime::mark_from(const Site& s, ObjectId start,
+                                   std::set<ObjectId>& seen,
+                                   std::set<ObjectId>& proxies_seen) const {
+  std::vector<ObjectId> stack{start};
+  while (!stack.empty()) {
+    const ObjectId o = stack.back();
+    stack.pop_back();
+    if (s.has_proxy(o)) {
+      proxies_seen.insert(o);
+      continue;  // proxies are leaves of the local graph
+    }
+    if (!s.has_object(o) || !seen.insert(o).second) {
+      continue;
+    }
+    for (ObjectId t : s.object(o).slots()) {
+      stack.push_back(t);
+    }
+  }
+}
+
+void DistributedRuntime::refresh_edges(SiteId site_id) {
+  Site& s = site(site_id);
+  // Desired global-root-graph edges: g -> p for every global root g of
+  // this site and every proxy p it locally reaches.
+  std::map<ObjectId, std::set<ObjectId>> desired;
+  std::set<ObjectId> starts(s.local_roots());
+  starts.insert(s.exports().begin(), s.exports().end());
+  for (ObjectId g : starts) {
+    std::set<ObjectId> seen;
+    std::set<ObjectId> proxies;
+    mark_from(s, g, seen, proxies);
+    if (!proxies.empty()) {
+      desired[g] = std::move(proxies);
+    }
+  }
+  auto& current = edges_[site_id];
+  // New edges: register with the engine (a message-free local acquisition;
+  // the remote target learns of it through normal GGD traffic).
+  for (const auto& [g, proxies] : desired) {
+    const ProcessId gp = process_of(g);
+    if (!gp.valid() || engine_.process(gp).removed()) {
+      continue;
+    }
+    for (ObjectId p : proxies) {
+      if (!current[g].contains(p)) {
+        const ProcessId pp = process_of(p);
+        if (pp.valid()) {
+          engine_.local_acquire(gp, pp);
+        }
+      }
+    }
+  }
+  // Vanished edges: the local collector dropped the last path from g to p;
+  // emit the edge-destruction control message (§3.4).
+  for (auto& [g, proxies] : current) {
+    const ProcessId gp = process_of(g);
+    for (ObjectId p : proxies) {
+      const bool still = desired.contains(g) && desired.at(g).contains(p);
+      if (!still && gp.valid() && !engine_.process(gp).removed()) {
+        const ProcessId pp = process_of(p);
+        if (pp.valid() && engine_.process(gp).acquaintances().contains(pp)) {
+          engine_.drop_ref(gp, pp);
+        }
+      }
+    }
+  }
+  // Commit.
+  std::map<ObjectId, std::set<ObjectId>> committed;
+  for (auto& [g, proxies] : desired) {
+    committed[g] = proxies;
+  }
+  current = std::move(committed);
+}
+
+void DistributedRuntime::collect_site(SiteId site_id) {
+  Site& s = site(site_id);
+  // Root set (§2.1, Fig. 1): local roots plus still-alleged global roots.
+  std::set<ObjectId> live;
+  std::set<ObjectId> live_proxies;
+  for (ObjectId r : s.local_roots()) {
+    mark_from(s, r, live, live_proxies);
+  }
+  for (ObjectId g : s.exports()) {
+    mark_from(s, g, live, live_proxies);
+  }
+  // Sweep local objects.
+  std::vector<ObjectId> dead;
+  for (const auto& [id, obj] : s.objects()) {
+    (void)obj;
+    if (!live.contains(id)) {
+      dead.push_back(id);
+    }
+  }
+  for (ObjectId id : dead) {
+    s.remove_object(id);
+    owner_.erase(id);
+  }
+  // Sweep proxies: a proxy unreachable from every root is collected, which
+  // is exactly when the paper emits the edge-destruction control message —
+  // handled by refresh_edges below (the edge set shrinks accordingly).
+  std::vector<ObjectId> dead_proxies;
+  for (ObjectId p : s.proxies()) {
+    if (!live_proxies.contains(p)) {
+      dead_proxies.push_back(p);
+    }
+  }
+  refresh_edges(site_id);
+  for (ObjectId p : dead_proxies) {
+    s.remove_proxy(p);
+  }
+}
+
+void DistributedRuntime::collect_all(std::size_t rounds) {
+  for (std::size_t r = 0; r < rounds; ++r) {
+    // Progress is any reclaimed object OR any global root stripped by GGD
+    // (which enables reclamation only in the *next* local sweep).
+    const auto before =
+        std::make_pair(total_objects(), engine_.removed().size());
+    for (auto& [id, s] : sites_) {
+      (void)s;
+      collect_site(id);
+    }
+    run();
+    engine_.periodic_sweep();
+    run();
+    if (std::make_pair(total_objects(), engine_.removed().size()) == before) {
+      break;
+    }
+  }
+}
+
+void DistributedRuntime::on_global_root_removed(ProcessId p) {
+  auto it = object_for_.find(p);
+  if (it == object_for_.end()) {
+    return;
+  }
+  const ObjectId obj = it->second;
+  auto oit = owner_.find(obj);
+  if (oit == owner_.end()) {
+    return;
+  }
+  Site& s = site(oit->second);
+  // GGD narrowed the root set (§2.2): the object is no longer alleged to
+  // be remotely referenced. It may still be locally reachable — actual
+  // reclamation is local GC's job.
+  s.remove_export(obj);
+  process_for_.erase(obj);
+}
+
+Site& DistributedRuntime::site(SiteId id) {
+  auto it = sites_.find(id);
+  CGC_CHECK_MSG(it != sites_.end(), "unknown site");
+  return it->second;
+}
+
+const Site& DistributedRuntime::site(SiteId id) const {
+  auto it = sites_.find(id);
+  CGC_CHECK_MSG(it != sites_.end(), "unknown site");
+  return it->second;
+}
+
+SiteId DistributedRuntime::owner_of(ObjectId id) const {
+  auto it = owner_.find(id);
+  CGC_CHECK_MSG(it != owner_.end(), "unknown (or collected) object");
+  return it->second;
+}
+
+bool DistributedRuntime::object_exists(ObjectId id) const {
+  return owner_.contains(id);
+}
+
+std::size_t DistributedRuntime::total_objects() const {
+  return owner_.size();
+}
+
+std::set<ObjectId> DistributedRuntime::oracle_reachable() const {
+  // Whole-system reachability: local roots, following local references and
+  // crossing sites through proxies.
+  std::set<ObjectId> seen;
+  std::vector<ObjectId> stack;
+  for (const auto& [sid, s] : sites_) {
+    (void)sid;
+    for (ObjectId r : s.local_roots()) {
+      stack.push_back(r);
+    }
+  }
+  while (!stack.empty()) {
+    const ObjectId o = stack.back();
+    stack.pop_back();
+    if (!owner_.contains(o) || !seen.insert(o).second) {
+      continue;
+    }
+    const Site& s = sites_.at(owner_.at(o));
+    if (!s.has_object(o)) {
+      continue;
+    }
+    for (ObjectId t : s.object(o).slots()) {
+      stack.push_back(t);
+    }
+  }
+  return seen;
+}
+
+}  // namespace cgc

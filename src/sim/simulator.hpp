@@ -1,0 +1,91 @@
+// Deterministic discrete-event simulator.
+//
+// Everything in the reproduction — mutator work, network deliveries, local
+// GC cycles, GGD rounds — runs as events on one virtual clock. Determinism
+// comes from (time, sequence) ordering: ties on the clock break by insertion
+// order, and all randomness is drawn from seeded `Rng` streams.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace cgc {
+
+using SimTime = std::uint64_t;
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `action` to run `delay` ticks from now.
+  void schedule_in(SimTime delay, Action action) {
+    queue_.push(Event{now_ + delay, next_seq_++, std::move(action)});
+  }
+
+  /// Schedules `action` at an absolute virtual time (must not be in the
+  /// past).
+  void schedule_at(SimTime when, Action action) {
+    CGC_CHECK(when >= now_);
+    queue_.push(Event{when, next_seq_++, std::move(action)});
+  }
+
+  /// Runs one event; returns false when the queue is empty.
+  bool step() {
+    if (queue_.empty()) {
+      return false;
+    }
+    // Moving the action out before popping keeps the queue reentrant: the
+    // action may schedule further events.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    CGC_CHECK(ev.when >= now_);
+    now_ = ev.when;
+    ++executed_;
+    ev.action();
+    return true;
+  }
+
+  /// Runs until the queue drains or `max_events` have executed. Returns
+  /// true iff the queue drained (the system is quiescent).
+  bool run(std::uint64_t max_events = UINT64_MAX) {
+    for (std::uint64_t i = 0; i < max_events; ++i) {
+      if (!step()) {
+        return true;
+      }
+    }
+    return queue_.empty();
+  }
+
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when = 0;
+    std::uint64_t seq = 0;
+    Action action;
+
+    // Inverted comparison: priority_queue is a max-heap, we want the
+    // earliest (time, seq) first.
+    bool operator<(const Event& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace cgc

@@ -1,0 +1,85 @@
+#include "vclock/dependency_vector.hpp"
+
+#include <sstream>
+
+namespace cgc {
+
+bool DependencyVector::leq(const DependencyVector& other) const {
+  for (const auto& [p, ts] : entries_) {
+    if (ts.effective_index() > other.get(p).effective_index()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool DependencyVector::effective_equal(const DependencyVector& other) const {
+  for (const auto& [p, ts] : entries_) {
+    if (ts.effective_index() != other.get(p).effective_index()) {
+      return false;
+    }
+  }
+  for (const auto& [p, ts] : other.entries_) {
+    if (ts.effective_index() != get(p).effective_index()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<ProcessId> DependencyVector::live_processes() const {
+  std::vector<ProcessId> out;
+  for (const auto& [p, ts] : entries_) {
+    if (!ts.is_delta()) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::vector<ProcessId> DependencyVector::known_processes() const {
+  std::vector<ProcessId> out;
+  out.reserve(entries_.size());
+  for (const auto& [p, ts] : entries_) {
+    (void)ts;
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::string DependencyVector::str(
+    const std::vector<ProcessId>& universe) const {
+  std::ostringstream ss;
+  ss << '(';
+  bool first = true;
+  for (ProcessId p : universe) {
+    if (!first) {
+      ss << ", ";
+    }
+    first = false;
+    ss << get(p).str();
+  }
+  ss << ')';
+  return ss.str();
+}
+
+std::string DependencyVector::str() const {
+  std::ostringstream ss;
+  ss << '{';
+  bool first = true;
+  for (const auto& [p, ts] : entries_) {
+    if (!first) {
+      ss << ", ";
+    }
+    first = false;
+    ss << p.str() << ':' << ts.str();
+  }
+  ss << '}';
+  return ss.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const DependencyVector& dv) {
+  return os << dv.str();
+}
+
+}  // namespace cgc

@@ -1,0 +1,78 @@
+// The two-dimensional log DV_i each global root maintains (§3.3 item 1,
+// §3.4).
+//
+// `rows()[q]` is the best locally-held approximation of the dependency
+// vector of the latest known log-keeping event of process `q`. Row `self()`
+// describes this global root's own latest event. Rows for third parties
+// (processes this root merely forwarded references to) hold entries logged
+// *on behalf of* those processes, to be delivered later bundled with an
+// edge-destruction message (§3.4).
+//
+// Space bound: one row per acquaintance ever heard of — NOT one row per
+// past event. This is the paper's answer to the unbounded history of
+// Fowler & Zwaenepoel's reconstruction (§3.3, §5).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "vclock/dependency_vector.hpp"
+
+namespace cgc {
+
+class DvLog {
+ public:
+  DvLog() = default;
+  explicit DvLog(ProcessId self) : self_(self) {}
+
+  [[nodiscard]] ProcessId self() const { return self_; }
+
+  /// Mutable access to a row, creating it if absent.
+  DependencyVector& row(ProcessId q) { return rows_[q]; }
+
+  /// Read-only row access; absent rows read as the empty vector.
+  [[nodiscard]] const DependencyVector& row(ProcessId q) const {
+    static const DependencyVector kEmpty;
+    auto it = rows_.find(q);
+    return it == rows_.end() ? kEmpty : it->second;
+  }
+
+  DependencyVector& self_row() { return row(self_); }
+  [[nodiscard]] const DependencyVector& self_row() const { return row(self_); }
+
+  /// This root's own latest event index.
+  [[nodiscard]] Timestamp own_timestamp() const {
+    return self_row().get(self_);
+  }
+
+  /// Records a fresh local log-keeping event: bumps own index in own row.
+  Timestamp new_local_event() { return self_row().increment(self_); }
+
+  [[nodiscard]] bool has_row(ProcessId q) const { return rows_.contains(q); }
+  void erase_row(ProcessId q) { rows_.erase(q); }
+
+  [[nodiscard]] const std::map<ProcessId, DependencyVector>& rows() const {
+    return rows_;
+  }
+
+  /// Total number of timestamp entries across all rows (space metric, T6).
+  [[nodiscard]] std::size_t entry_count() const {
+    std::size_t n = 0;
+    for (const auto& [q, dv] : rows_) {
+      (void)q;
+      n += dv.size();
+    }
+    return n;
+  }
+
+  /// Fixed-universe rendering matching the paper's Fig. 8 boxes.
+  [[nodiscard]] std::string str(const std::vector<ProcessId>& universe) const;
+
+ private:
+  ProcessId self_;
+  std::map<ProcessId, DependencyVector> rows_;
+};
+
+}  // namespace cgc

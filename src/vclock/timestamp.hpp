@@ -1,0 +1,88 @@
+// A log-keeping timestamp: a per-process event index plus the paper's "E"
+// destruction marker (§3.1).
+//
+// Semantics (from the paper):
+//   * 0 means "no log-keeping message ever received from that process".
+//   * A plain value t is the index of an *edge-creation* event.
+//   * E(t) — `destroyed == true` — records that the *last* log-keeping
+//     control message received from that process was an edge-destruction
+//     message, and t is the index it carried. For reachability purposes E(t)
+//     is treated exactly like 0 ("as if no edge creation event had ever been
+//     sent from this global root"), but the index is retained so that newer
+//     information supersedes older information when logs are merged.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace cgc {
+
+class Timestamp {
+ public:
+  constexpr Timestamp() = default;
+
+  [[nodiscard]] static constexpr Timestamp creation(std::uint64_t index) {
+    return Timestamp(index, false);
+  }
+  [[nodiscard]] static constexpr Timestamp destruction(std::uint64_t index) {
+    return Timestamp(index, true);
+  }
+
+  [[nodiscard]] constexpr std::uint64_t index() const { return index_; }
+  [[nodiscard]] constexpr bool destroyed() const { return destroyed_; }
+
+  /// The paper's Δ predicate: true for 0 and for destruction markers — i.e.
+  /// "this entry contributes no live path".
+  [[nodiscard]] constexpr bool is_delta() const {
+    return index_ == 0 || destroyed_;
+  }
+
+  /// Effective value used by vector-time comparisons (§3.2): destruction
+  /// markers count as 0.
+  [[nodiscard]] constexpr std::uint64_t effective_index() const {
+    return is_delta() ? 0 : index_;
+  }
+
+  /// Merge rule for log entries: the numerically newer index wins; at equal
+  /// index a destruction marker wins (the destruction of an edge is causally
+  /// later than the creation event carrying the same index).
+  [[nodiscard]] static constexpr Timestamp merge(Timestamp a, Timestamp b) {
+    if (a.index_ != b.index_) {
+      return a.index_ > b.index_ ? a : b;
+    }
+    return Timestamp(a.index_, a.destroyed_ || b.destroyed_);
+  }
+
+  /// True iff `*this` carries strictly newer information than `other`:
+  /// a larger index, or the same index upgraded to a destruction marker.
+  [[nodiscard]] constexpr bool supersedes(Timestamp other) const {
+    if (index_ != other.index_) {
+      return index_ > other.index_;
+    }
+    return destroyed_ && !other.destroyed_;
+  }
+
+  friend constexpr bool operator==(Timestamp, Timestamp) = default;
+
+  [[nodiscard]] std::string str() const {
+    if (index_ == 0 && !destroyed_) {
+      return "0";
+    }
+    return (destroyed_ ? "E" : "") + std::to_string(index_);
+  }
+
+ private:
+  constexpr Timestamp(std::uint64_t index, bool destroyed)
+      : index_(index), destroyed_(destroyed) {}
+
+  std::uint64_t index_ = 0;
+  bool destroyed_ = false;
+};
+
+inline std::ostream& operator<<(std::ostream& os, Timestamp ts) {
+  return os << ts.str();
+}
+
+}  // namespace cgc

@@ -1,0 +1,168 @@
+#include "workload/builders.hpp"
+
+#include <algorithm>
+
+namespace cgc {
+
+std::vector<ProcessId> build_doubly_linked_list(Scenario& s, ProcessId root,
+                                                std::size_t k) {
+  CGC_CHECK(k > 0);
+  std::vector<ProcessId> elems;
+  elems.reserve(k);
+  elems.push_back(s.create(root));
+  s.run();
+  for (std::size_t i = 1; i < k; ++i) {
+    // Forward link: e_{i-1} creates e_i (edge e_{i-1} -> e_i).
+    elems.push_back(s.create(elems[i - 1]));
+    s.run();
+    // Back link: e_{i-1} introduces itself to e_i (edge e_i -> e_{i-1}).
+    s.send_own_ref(elems[i - 1], elems[i]);
+    s.run();
+  }
+  return elems;
+}
+
+std::vector<ProcessId> build_ring(Scenario& s, ProcessId root, std::size_t k) {
+  CGC_CHECK(k > 0);
+  std::vector<ProcessId> elems;
+  elems.reserve(k);
+  elems.push_back(s.create(root));
+  s.run();
+  for (std::size_t i = 1; i < k; ++i) {
+    elems.push_back(s.create(elems[i - 1]));
+    s.run();
+  }
+  if (k > 1) {
+    // Close the ring: e0 introduces itself to the last element.
+    s.send_own_ref(elems[0], elems[k - 1]);
+    s.run();
+  }
+  return elems;
+}
+
+std::vector<ProcessId> build_ring_with_subcycles(Scenario& s, ProcessId root,
+                                                 std::size_t k) {
+  std::vector<ProcessId> elems = build_ring(s, root, k);
+  // Each consecutive pair additionally forms a two-element sub-cycle:
+  // e_{i+1} -> e_i on top of the ring's e_i -> e_{i+1}.
+  for (std::size_t i = 0; i + 1 < elems.size(); ++i) {
+    s.send_own_ref(elems[i], elems[i + 1]);
+    s.run();
+  }
+  return elems;
+}
+
+std::vector<ProcessId> build_tree(Scenario& s, ProcessId root,
+                                  std::size_t branching, std::size_t depth) {
+  std::vector<ProcessId> all;
+  std::vector<ProcessId> frontier{s.create(root)};
+  s.run();
+  all.push_back(frontier[0]);
+  for (std::size_t d = 1; d <= depth; ++d) {
+    std::vector<ProcessId> next;
+    for (ProcessId parent : frontier) {
+      for (std::size_t b = 0; b < branching; ++b) {
+        const ProcessId child = s.create(parent);
+        next.push_back(child);
+        all.push_back(child);
+      }
+      s.run();
+    }
+    frontier = std::move(next);
+  }
+  return all;
+}
+
+std::vector<ProcessId> build_random_graph(Scenario& s, ProcessId root,
+                                          std::size_t n,
+                                          std::size_t extra_edges, Rng& rng) {
+  CGC_CHECK(n > 0);
+  std::vector<ProcessId> nodes;
+  nodes.reserve(n);
+  // Connected skeleton: each new object is created by a random existing one
+  // (or the root), guaranteeing initial reachability.
+  nodes.push_back(s.create(root));
+  s.run();
+  for (std::size_t i = 1; i < n; ++i) {
+    const ProcessId parent = nodes[rng.below(nodes.size())];
+    nodes.push_back(s.create(parent));
+    s.run();
+  }
+  // Extra edges via self-introduction: from -> to where `to` gains the
+  // reference of `from` — creates sharing, back-edges and cycles.
+  for (std::size_t e = 0; e < extra_edges; ++e) {
+    const ProcessId a = nodes[rng.below(nodes.size())];
+    const ProcessId b = nodes[rng.below(nodes.size())];
+    if (a != b) {
+      s.send_own_ref(a, b);
+      s.run();
+    }
+  }
+  return nodes;
+}
+
+void random_churn(Scenario& s, ProcessId root, std::size_t steps, Rng& rng) {
+  std::vector<ProcessId> population{root};
+  auto random_holder_with_refs = [&]() -> ProcessId {
+    for (int attempts = 0; attempts < 16; ++attempts) {
+      const ProcessId p = population[rng.below(population.size())];
+      if (!s.engine().process(p).removed() && !s.refs_of(p).empty()) {
+        return p;
+      }
+    }
+    return ProcessId{};
+  };
+  auto random_live = [&]() -> ProcessId {
+    for (int attempts = 0; attempts < 16; ++attempts) {
+      const ProcessId p = population[rng.below(population.size())];
+      if (!s.engine().process(p).removed()) {
+        return p;
+      }
+    }
+    return root;
+  };
+  auto pick_ref = [&](ProcessId holder) {
+    const auto& refs = s.refs_of(holder);
+    auto it = refs.begin();
+    std::advance(it, static_cast<long>(rng.below(refs.size())));
+    return *it;
+  };
+
+  for (std::size_t step = 0; step < steps; ++step) {
+    const std::uint64_t dice = rng.below(100);
+    if (dice < 25) {
+      // Create a new object from a random live holder.
+      const ProcessId creator = random_live();
+      population.push_back(s.create(creator));
+    } else if (dice < 55) {
+      // Forward a held third-party reference to another held target.
+      const ProcessId i = random_holder_with_refs();
+      if (i.valid() && s.refs_of(i).size() >= 1) {
+        const ProcessId k = pick_ref(i);
+        const ProcessId j = pick_ref(i);
+        if (j != k) {
+          s.send_third_party_ref(i, k, j);
+        }
+      }
+    } else if (dice < 70) {
+      // Self-introduction: i hands its own reference to a held target.
+      const ProcessId i = random_holder_with_refs();
+      if (i.valid()) {
+        const ProcessId j = pick_ref(i);
+        s.send_own_ref(i, j);
+      }
+    } else {
+      // Drop a held reference.
+      const ProcessId j = random_holder_with_refs();
+      if (j.valid()) {
+        s.drop_ref(j, pick_ref(j));
+      }
+    }
+    // Interleave mutator activity with message delivery, but do not force
+    // quiescence: concurrency between mutation and GGD is the point.
+    s.sim().run(rng.below(64));
+  }
+  s.run();
+}
+
+}  // namespace cgc

@@ -1,0 +1,49 @@
+// Canonical distributed structures used by tests and benches: the shapes
+// the paper's complexity arguments are stated over (doubly-linked lists,
+// rings, cyclic structures with sub-cycles, trees) plus randomised churn.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workload/scenario.hpp"
+
+namespace cgc {
+
+/// Builds a doubly-linked list of `k` elements hanging off `root`
+/// (root -> e0 <-> e1 <-> ... <-> e{k-1}), every element on its own site.
+/// This is the structure of the §4 complexity comparison with Schelvis.
+/// Returns the elements in order; the scenario is run to quiescence.
+std::vector<ProcessId> build_doubly_linked_list(Scenario& s, ProcessId root,
+                                                std::size_t k);
+
+/// Builds a unidirectional ring of `k` elements reachable from `root`
+/// (root -> e0 -> e1 -> ... -> e{k-1} -> e0).
+std::vector<ProcessId> build_ring(Scenario& s, ProcessId root, std::size_t k);
+
+/// Builds a ring of `k` elements where consecutive pairs additionally form
+/// two-element sub-cycles — "any cyclic structure containing subcycles"
+/// (§4), the worst case for Schelvis-style depth-first packet tracing.
+std::vector<ProcessId> build_ring_with_subcycles(Scenario& s, ProcessId root,
+                                                 std::size_t k);
+
+/// Builds a complete tree with the given branching factor and depth under
+/// `root`; returns all nodes in creation (BFS) order.
+std::vector<ProcessId> build_tree(Scenario& s, ProcessId root,
+                                  std::size_t branching, std::size_t depth);
+
+/// Builds a connected random graph of `n` objects under `root` with
+/// roughly `extra_edges` additional random edges (creating shared
+/// structure and cycles). Deterministic per seed.
+std::vector<ProcessId> build_random_graph(Scenario& s, ProcessId root,
+                                          std::size_t n,
+                                          std::size_t extra_edges, Rng& rng);
+
+/// Random mutator churn: `steps` operations mixing creation, third-party
+/// forwarding, self-introduction and reference dropping, restricted to
+/// references actually held. Keeps at least the root alive. Deterministic
+/// per seed.
+void random_churn(Scenario& s, ProcessId root, std::size_t steps, Rng& rng);
+
+}  // namespace cgc

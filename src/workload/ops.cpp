@@ -1,0 +1,75 @@
+#include "workload/ops.hpp"
+
+namespace cgc::traces {
+
+TraceBuilder doubly_linked_list(std::size_t k,
+                                std::vector<ProcessId>* elements) {
+  TraceBuilder t;
+  const ProcessId root = t.add_root();
+  std::vector<ProcessId> elems;
+  elems.reserve(k);
+  elems.push_back(t.create(root));
+  for (std::size_t i = 1; i < k; ++i) {
+    elems.push_back(t.create(elems[i - 1]));
+    t.link_own(elems[i - 1], elems[i]);  // back link e_i -> e_{i-1}
+  }
+  t.drop(root, elems[0]);
+  if (elements != nullptr) {
+    *elements = std::move(elems);
+  }
+  return t;
+}
+
+TraceBuilder ring_with_subcycles(std::size_t k,
+                                 std::vector<ProcessId>* elements) {
+  TraceBuilder t;
+  const ProcessId root = t.add_root();
+  std::vector<ProcessId> elems;
+  elems.reserve(k);
+  elems.push_back(t.create(root));
+  for (std::size_t i = 1; i < k; ++i) {
+    elems.push_back(t.create(elems[i - 1]));
+  }
+  if (k > 1) {
+    t.link_own(elems[0], elems[k - 1]);  // close the ring
+  }
+  for (std::size_t i = 0; i + 1 < k; ++i) {
+    t.link_own(elems[i], elems[i + 1]);  // sub-cycles
+  }
+  t.drop(root, elems[0]);
+  if (elements != nullptr) {
+    *elements = std::move(elems);
+  }
+  return t;
+}
+
+TraceBuilder live_and_garbage(std::size_t live, std::size_t garbage) {
+  TraceBuilder t;
+  const ProcessId root = t.add_root();
+  // Live chain, kept.
+  ProcessId prev = root;
+  for (std::size_t i = 0; i < live; ++i) {
+    prev = t.create(prev);
+  }
+  // Garbage chain with back links (so tracing must walk it too before the
+  // cut, and cycles exist after it), cut loose at the end.
+  ProcessId head{};
+  prev = root;
+  std::vector<ProcessId> chain;
+  for (std::size_t i = 0; i < garbage; ++i) {
+    const ProcessId next = t.create(prev);
+    if (i == 0) {
+      head = next;
+    } else {
+      t.link_own(prev, next);  // back link
+    }
+    chain.push_back(next);
+    prev = next;
+  }
+  if (garbage > 0) {
+    t.drop(root, head);
+  }
+  return t;
+}
+
+}  // namespace cgc::traces

@@ -1,0 +1,81 @@
+// A system-neutral mutator trace: the benches build one trace per workload
+// and replay it against our GGD and against every baseline, so message
+// counts compare like for like.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cgc {
+
+struct MutatorOp {
+  enum class Kind : std::uint8_t {
+    kAddRoot,        // a := new root
+    kCreate,         // a := object created by b (edge b -> a)
+    kLinkOwn,        // a sends its own ref to b (edge b -> a)
+    kLinkThird,      // a forwards its ref of c to b (edge b -> c)
+    kDrop,           // a drops its ref of b (edge a -> b destroyed)
+  };
+  Kind kind;
+  ProcessId a;
+  ProcessId b;
+  ProcessId c;
+};
+
+/// Builder for mutator traces with sequential ids (one site per object,
+/// the worked example's granularity).
+class TraceBuilder {
+ public:
+  ProcessId add_root() {
+    const ProcessId id = next();
+    ops_.push_back({MutatorOp::Kind::kAddRoot, id, {}, {}});
+    return id;
+  }
+  ProcessId create(ProcessId creator) {
+    const ProcessId id = next();
+    ops_.push_back({MutatorOp::Kind::kCreate, id, creator, {}});
+    return id;
+  }
+  void link_own(ProcessId a, ProcessId b) {
+    ops_.push_back({MutatorOp::Kind::kLinkOwn, a, b, {}});
+  }
+  void link_third(ProcessId a, ProcessId c, ProcessId b) {
+    ops_.push_back({MutatorOp::Kind::kLinkThird, a, b, c});
+  }
+  void drop(ProcessId a, ProcessId b) {
+    ops_.push_back({MutatorOp::Kind::kDrop, a, b, {}});
+  }
+
+  [[nodiscard]] const std::vector<MutatorOp>& ops() const { return ops_; }
+  [[nodiscard]] std::uint64_t max_id() const { return counter_; }
+
+ private:
+  ProcessId next() { return ProcessId{++counter_}; }
+
+  std::vector<MutatorOp> ops_;
+  std::uint64_t counter_ = 0;
+};
+
+/// Canonical traces for the paper's complexity arguments.
+namespace traces {
+
+/// root -> e0 <-> e1 <-> ... <-> e{k-1}, then the root edge is dropped:
+/// the §4 doubly-linked-list comparison. Returns the trace; `elements`
+/// receives the list element ids, the root is the first id.
+TraceBuilder doubly_linked_list(std::size_t k,
+                                std::vector<ProcessId>* elements = nullptr);
+
+/// Ring of k with two-element sub-cycles (worst case for depth-first
+/// packet tracing, §4).
+TraceBuilder ring_with_subcycles(std::size_t k,
+                                 std::vector<ProcessId>* elements = nullptr);
+
+/// `live` objects stay reachable, `garbage` objects (a connected chain)
+/// are cut loose at the end: the live-vs-garbage complexity workload (T2).
+TraceBuilder live_and_garbage(std::size_t live, std::size_t garbage);
+
+}  // namespace traces
+
+}  // namespace cgc

@@ -1,0 +1,41 @@
+// Replays system-neutral mutator traces onto our Scenario (ids align
+// because both number objects sequentially in operation order).
+#pragma once
+
+#include "workload/ops.hpp"
+#include "workload/scenario.hpp"
+
+namespace cgc {
+
+inline void replay_on_scenario(Scenario& s, const std::vector<MutatorOp>& ops,
+                               bool quiesce_between = true) {
+  for (const MutatorOp& op : ops) {
+    switch (op.kind) {
+      case MutatorOp::Kind::kAddRoot: {
+        const ProcessId id = s.add_root();
+        CGC_CHECK_MSG(id == op.a, "trace replay id mismatch");
+        break;
+      }
+      case MutatorOp::Kind::kCreate: {
+        const ProcessId id = s.create(op.b);
+        CGC_CHECK_MSG(id == op.a, "trace replay id mismatch");
+        break;
+      }
+      case MutatorOp::Kind::kLinkOwn:
+        s.send_own_ref(op.a, op.b);
+        break;
+      case MutatorOp::Kind::kLinkThird:
+        s.send_third_party_ref(op.a, op.c, op.b);
+        break;
+      case MutatorOp::Kind::kDrop:
+        s.drop_ref(op.a, op.b);
+        break;
+    }
+    if (quiesce_between) {
+      s.run();
+    }
+  }
+  s.run();
+}
+
+}  // namespace cgc

@@ -1,0 +1,237 @@
+// Scenario: a GGD engine plus an omniscient ground truth.
+//
+// Every mutator-level operation is mirrored into a ground-truth adjacency
+// (edges materialise at message *delivery*, so dropped reference-passing
+// messages never count), giving the tests and benches an oracle for true
+// reachability that the distributed algorithm under test cannot see.
+//
+// The mutator API enforces what a real mutator could do: a process can
+// only forward or drop references it actually holds.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ggd/engine.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace cgc {
+
+class Scenario {
+ public:
+  struct Config {
+    NetworkConfig net;
+    LogKeepingMode mode = LogKeepingMode::kRobust;
+    /// One site per process (paper's worked-example granularity) when
+    /// true; otherwise processes are spread round-robin over `num_sites`.
+    std::uint64_t num_sites = 0;  // 0 = one site per process
+  };
+
+  explicit Scenario(Config config)
+      : config_(config), net_(sim_, config.net), engine_(net_, config.mode) {
+    engine_.set_on_ref_delivered([this](ProcessId holder, ProcessId target) {
+      edges_[holder].insert(target);
+    });
+    engine_.set_on_removed([this](ProcessId p) {
+      removed_.insert(p);
+      // Tripwire: garbage is stable, so a removal of a currently reachable
+      // process is a safety violation no matter what happens later. Record
+      // the offender's state at the instant of the decision.
+      if (reachable().contains(p)) {
+        const GgdProcess& gp = engine_.process(p);
+        std::string holders;
+        for (const auto& [h, targets] : edges_) {
+          if (targets.contains(p)) {
+            holders += " " + h.str();
+          }
+        }
+        violations_.push_back("proc " + p.str() + " removed while reachable" +
+                              " self=" + gp.log().self_row().str() +
+                              " V=" + gp.compute_v().str() + " holders:" +
+                              holders);
+      }
+    });
+  }
+
+  /// Registers a new actual root (mutator entry point).
+  ProcessId add_root() {
+    const ProcessId id = next_id();
+    engine_.add_process(id, site_for(id), /*is_root=*/true);
+    roots_.insert(id);
+    edges_[id];
+    return id;
+  }
+
+  /// `creator` allocates a new object on another site; the creator holds
+  /// the only reference once the creation message is delivered.
+  ProcessId create(ProcessId creator, bool is_root = false) {
+    const ProcessId id = next_id();
+    engine_.create_object(creator, id, site_for(id), is_root);
+    edges_[id];
+    return id;
+  }
+
+  /// `i` hands its own reference to `j` (edge j -> i). Requires j to be
+  /// known to i — in a real mutator i can only message objects it holds
+  /// references to, but self-introduction to one's own referrers is also
+  /// legal; the generators only use held references.
+  void send_own_ref(ProcessId i, ProcessId j) { engine_.send_own_ref(i, j); }
+
+  /// `i` forwards its held reference of `k` to `j` (edge j -> k).
+  void send_third_party_ref(ProcessId i, ProcessId k, ProcessId j) {
+    CGC_CHECK_MSG(holds(i, k), "mutator cannot forward a reference it lacks");
+    engine_.send_third_party_ref(i, k, j);
+  }
+
+  /// `j` drops its held reference of `k`.
+  void drop_ref(ProcessId j, ProcessId k) {
+    CGC_CHECK_MSG(holds(j, k), "mutator cannot drop a reference it lacks");
+    edges_[j].erase(k);
+    engine_.drop_ref(j, k);
+  }
+
+  /// Runs the simulation to quiescence (or until `max_events`).
+  bool run(std::uint64_t max_events = 10'000'000) {
+    return sim_.run(max_events);
+  }
+
+  /// Runs to quiescence, then performs up to `rounds` periodic GGD sweeps
+  /// (each followed by quiescence) — the steady-state behaviour of a
+  /// deployed system, which bounds the paper's "unbounded detection
+  /// latency" in practice. Stops early once a sweep collects nothing new.
+  bool run_with_sweeps(std::size_t rounds = 8,
+                       std::uint64_t max_events = 10'000'000) {
+    if (!sim_.run(max_events)) {
+      return false;
+    }
+    std::size_t idle_rounds = 0;
+    for (std::size_t r = 0; r < rounds && idle_rounds < 2; ++r) {
+      const std::size_t before = removed_.size();
+      engine_.periodic_sweep();
+      if (!sim_.run(max_events)) {
+        return false;
+      }
+      // One idle sweep can still have planted inquiries whose answers
+      // enable the next; stop only after two consecutive idle rounds.
+      idle_rounds = removed_.size() == before ? idle_rounds + 1 : 0;
+    }
+    return true;
+  }
+
+  // -- Oracle -------------------------------------------------------------
+
+  [[nodiscard]] bool holds(ProcessId holder, ProcessId target) const {
+    auto it = edges_.find(holder);
+    return it != edges_.end() && it->second.contains(target);
+  }
+
+  [[nodiscard]] const std::set<ProcessId>& refs_of(ProcessId holder) const {
+    static const std::set<ProcessId> kEmpty;
+    auto it = edges_.find(holder);
+    return it == edges_.end() ? kEmpty : it->second;
+  }
+
+  /// True reachability over delivered edges, from the actual roots.
+  [[nodiscard]] std::set<ProcessId> reachable() const {
+    std::set<ProcessId> seen;
+    std::vector<ProcessId> stack(roots_.begin(), roots_.end());
+    while (!stack.empty()) {
+      const ProcessId p = stack.back();
+      stack.pop_back();
+      if (!seen.insert(p).second) {
+        continue;
+      }
+      auto it = edges_.find(p);
+      if (it == edges_.end()) {
+        continue;
+      }
+      for (ProcessId q : it->second) {
+        stack.push_back(q);
+      }
+    }
+    return seen;
+  }
+
+  /// Processes the oracle knows are garbage right now.
+  [[nodiscard]] std::set<ProcessId> true_garbage() const {
+    std::set<ProcessId> out;
+    const std::set<ProcessId> live = reachable();
+    for (const auto& [p, targets] : edges_) {
+      (void)targets;
+      if (!live.contains(p) && !roots_.contains(p)) {
+        out.insert(p);
+      }
+    }
+    return out;
+  }
+
+  /// SAFETY: no process removed by GGD was reachable from a root at the
+  /// moment of its removal (checked by the tripwire above — garbage is
+  /// stable, so a reachable removal is wrong no matter when it is caught),
+  /// and none is reachable now.
+  [[nodiscard]] bool safety_holds() const {
+    if (!violations_.empty()) {
+      return false;
+    }
+    const std::set<ProcessId> live = reachable();
+    for (ProcessId p : removed_) {
+      if (live.contains(p)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Details of any removals of reachable processes, captured at decision
+  /// time.
+  [[nodiscard]] const std::vector<std::string>& violations() const {
+    return violations_;
+  }
+
+  /// COMPREHENSIVENESS: every true garbage process has been removed.
+  /// Guaranteed only under fault-free fair delivery; with faults the
+  /// difference is residual garbage (paper §1).
+  [[nodiscard]] std::set<ProcessId> residual_garbage() const {
+    std::set<ProcessId> out;
+    for (ProcessId p : true_garbage()) {
+      if (!removed_.contains(p)) {
+        out.insert(p);
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] const std::set<ProcessId>& removed() const { return removed_; }
+  [[nodiscard]] const std::set<ProcessId>& roots() const { return roots_; }
+  [[nodiscard]] std::size_t process_count() const { return edges_.size(); }
+
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] Network& net() { return net_; }
+  [[nodiscard]] GgdEngine& engine() { return engine_; }
+
+ private:
+  ProcessId next_id() { return ProcessId{++id_counter_}; }
+
+  SiteId site_for(ProcessId p) const {
+    if (config_.num_sites == 0) {
+      return SiteId{p.value()};
+    }
+    return SiteId{p.value() % config_.num_sites};
+  }
+
+  Config config_;
+  Simulator sim_;
+  Network net_;
+  GgdEngine engine_;
+  std::uint64_t id_counter_ = 0;
+  std::map<ProcessId, std::set<ProcessId>> edges_;
+  std::set<ProcessId> roots_;
+  std::set<ProcessId> removed_;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace cgc

@@ -1,0 +1,213 @@
+// Unit tests for GgdProcess: Receive branches, the edge-precise walk, the
+// closure, finalisation and idempotence — independent of any network.
+#include <gtest/gtest.h>
+
+#include "ggd/process.hpp"
+#include "logkeeping/lazy_logkeeping.hpp"
+
+namespace cgc {
+namespace {
+
+ProcessId P(std::uint64_t v) { return ProcessId{v}; }
+
+std::function<bool(ProcessId)> roots(std::initializer_list<std::uint64_t> rs) {
+  std::set<ProcessId> set;
+  for (auto r : rs) {
+    set.insert(P(r));
+  }
+  return [set](ProcessId p) { return set.contains(p); };
+}
+
+GgdMessage vector_msg(ProcessId from, ProcessId to, DependencyVector v,
+                      DependencyVector row = {}) {
+  GgdMessage m;
+  m.from = from;
+  m.to = to;
+  m.v = std::move(v);
+  m.self_row = std::move(row);
+  return m;
+}
+
+TEST(GgdProcess, DestructionBranchCreatesLocalEvent) {
+  GgdProcess p(P(2), false);
+  LazyLogKeeping lk;
+  lk.on_send_own_ref(p, P(1));  // counter 1, slot 1 live
+
+  DependencyVector v;
+  v.set(P(1), Timestamp::destruction(1));
+  auto out = p.receive(vector_msg(P(1), P(2), v), roots({1}));
+  EXPECT_EQ(p.log().own_timestamp(), Timestamp::creation(2));
+  EXPECT_TRUE(p.log().self_row().get(P(1)).destroyed());
+  // No acquaintances: the removal cascade is empty, but the process is
+  // removed (no live in-edges remain).
+  EXPECT_TRUE(p.removed());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(GgdProcess, StaleDestructionIsIgnored) {
+  GgdProcess p(P(2), false);
+  LazyLogKeeping lk;
+  lk.on_send_own_ref(p, P(1));
+  lk.on_send_own_ref(p, P(1));  // slot 1 now at index 2
+
+  DependencyVector v;
+  v.set(P(1), Timestamp::destruction(1));  // older than the live edge
+  (void)p.receive(vector_msg(P(1), P(2), v), roots({1}));
+  EXPECT_FALSE(p.log().self_row().get(P(1)).destroyed());
+  EXPECT_FALSE(p.removed());
+}
+
+TEST(GgdProcess, VectorMessageImpliesEdgeFromSender) {
+  GgdProcess p(P(3), false);
+  DependencyVector v;
+  v.set(P(2), Timestamp::creation(5));
+  v.set(P(1), Timestamp::creation(1));
+  DependencyVector row;
+  row.set(P(1), Timestamp::creation(1));
+  row.set(P(2), Timestamp::creation(5));
+  (void)p.receive(vector_msg(P(2), P(3), v, row), roots({1}));
+  EXPECT_EQ(p.log().self_row().get(P(2)), Timestamp::creation(5));
+  EXPECT_TRUE(p.row_certified(P(2)));
+  EXPECT_FALSE(p.removed()) << "live root in the sender's account";
+}
+
+TEST(GgdProcess, ReplyDoesNotImplyAnEdge) {
+  GgdProcess p(P(3), false);
+  DependencyVector v;
+  v.set(P(2), Timestamp::creation(5));
+  GgdMessage m = vector_msg(P(2), P(3), v);
+  m.reply = true;
+  (void)p.receive(m, roots({1}));
+  EXPECT_TRUE(p.log().self_row().get(P(2)).is_delta())
+      << "a reply must not create a self-row edge fact";
+  EXPECT_TRUE(p.row_certified(P(2)));
+}
+
+TEST(GgdProcess, WalkBlocksOnUnknownPredecessor) {
+  GgdProcess p(P(3), false);
+  LazyLogKeeping lk;
+  lk.on_receive_ref(p, P(9));           // outgoing edge, irrelevant
+  p.log().self_row().increment(P(7));   // live in-edge from unknown 7
+  std::set<ProcessId> missing, evidence;
+  EXPECT_EQ(p.walk_to_root(roots({1}), missing, evidence),
+            GgdProcess::WalkResult::kBlocked);
+  EXPECT_TRUE(missing.contains(P(7)));
+}
+
+TEST(GgdProcess, WalkFollowsKnownRowsToRoot) {
+  GgdProcess p(P(3), false);
+  p.log().self_row().increment(P(2));  // edge 2 -> 3
+  // 2's row arrives: 2 has a live in-edge from root 1.
+  DependencyVector v2;
+  v2.set(P(1), Timestamp::creation(1));
+  v2.set(P(2), Timestamp::creation(1));
+  DependencyVector row2 = v2;
+  (void)p.receive(vector_msg(P(2), P(3), v2, row2), roots({1}));
+  std::set<ProcessId> missing, evidence;
+  EXPECT_EQ(p.walk_to_root(roots({1}), missing, evidence),
+            GgdProcess::WalkResult::kReachable);
+}
+
+TEST(GgdProcess, MultiEdgeMaskingIsPerEdge) {
+  // The failure case that forced the edge-precise walk (DESIGN.md §2):
+  // root 1 holds TWO edges, drops only one. The destruction marker for
+  // edge 1 -> 3 must not hide the other edge of process 1 living in a
+  // replica row.
+  GgdProcess p(P(3), false);
+  p.log().self_row().increment(P(2));  // edge 2 -> 3 (live)
+  // 2's account: 2 is held by root 1 (1's other edge).
+  DependencyVector v2;
+  v2.set(P(1), Timestamp::creation(1));
+  v2.set(P(2), Timestamp::creation(1));
+  (void)p.receive(vector_msg(P(2), P(3), v2, v2), roots({1}));
+  // Root drops its DIRECT edge to 3 with a much later index.
+  DependencyVector e;
+  e.set(P(1), Timestamp::destruction(9));
+  (void)p.receive(vector_msg(P(1), P(3), e), roots({1}));
+
+  EXPECT_FALSE(p.removed())
+      << "E(9) for edge 1->3 must not mask live edge 1->2 at index 1";
+  std::set<ProcessId> missing, evidence;
+  EXPECT_EQ(p.walk_to_root(roots({1}), missing, evidence),
+            GgdProcess::WalkResult::kReachable);
+}
+
+TEST(GgdProcess, DuplicateMessagesAreIdempotent) {
+  GgdProcess p(P(2), false);
+  LazyLogKeeping lk;
+  lk.on_send_own_ref(p, P(1));
+  lk.on_receive_ref(p, P(5));
+
+  DependencyVector v;
+  v.set(P(1), Timestamp::destruction(2));
+  const GgdMessage msg = vector_msg(P(1), P(2), v);
+  auto out1 = p.receive(msg, roots({1}));
+  const DependencyVector snapshot = p.log().self_row();
+  const bool removed1 = p.removed();
+  auto out2 = p.receive(msg, roots({1}));
+  EXPECT_EQ(p.log().self_row(), snapshot);
+  EXPECT_EQ(p.removed(), removed1);
+  EXPECT_TRUE(out2.empty() || p.removed());
+}
+
+TEST(GgdProcess, RemovedProcessIgnoresEverything) {
+  GgdProcess p(P(2), false);
+  auto fin = p.remove_self();
+  EXPECT_TRUE(p.removed());
+  DependencyVector v;
+  v.set(P(1), Timestamp::creation(1));
+  EXPECT_TRUE(p.receive(vector_msg(P(1), P(2), v), roots({1})).empty());
+}
+
+TEST(GgdProcess, RemoveSelfSendsDestructionToEveryAcquaintance) {
+  GgdProcess p(P(2), false);
+  LazyLogKeeping lk;
+  lk.on_receive_ref(p, P(3));
+  lk.on_receive_ref(p, P(4));
+  auto fin = p.remove_self();
+  ASSERT_EQ(fin.size(), 2u);
+  for (const GgdMessage& m : fin) {
+    EXPECT_TRUE(m.is_destruction());
+    EXPECT_TRUE(m.dead.contains(P(2))) << "death certificate rides along";
+  }
+}
+
+TEST(GgdProcess, DeadEntriesAreElided) {
+  GgdProcess p(P(3), false);
+  p.log().self_row().increment(P(2));  // live in-edge from 2
+  GgdMessage death;
+  death.from = P(9);
+  death.to = P(3);
+  death.dead.insert(P(2));
+  death.reply = true;
+  (void)p.receive(death, roots({1}));
+  // The edge from dead 2 no longer counts; with nothing else, the process
+  // is unreachable (and removes itself on that very receive).
+  EXPECT_TRUE(p.removed());
+}
+
+TEST(GgdProcess, ComputeVClosesOverHistories) {
+  GgdProcess p(P(4), false);
+  p.log().self_row().increment(P(3));
+  DependencyVector v3;
+  v3.set(P(2), Timestamp::creation(1));
+  v3.set(P(3), Timestamp::creation(1));
+  GgdMessage m = vector_msg(P(3), P(4), v3, v3);
+  (void)p.receive(m, roots({1}));
+  const DependencyVector v = p.compute_v();
+  EXPECT_FALSE(v.get(P(2)).is_delta()) << "transitive entry imported";
+  EXPECT_FALSE(v.get(P(3)).is_delta());
+}
+
+TEST(GgdProcess, AnnounceCarriesFreshVector) {
+  GgdProcess p(P(2), false);
+  LazyLogKeeping lk;
+  lk.on_receive_ref(p, P(7));  // counter bumps AFTER any cached V
+  const GgdMessage ann = p.make_announce(P(7));
+  EXPECT_EQ(ann.v.get(P(2)).index(), p.log().own_timestamp().index())
+      << "announce must reflect the acquisition it reports";
+  EXPECT_FALSE(ann.reply);
+}
+
+}  // namespace
+}  // namespace cgc

@@ -1,0 +1,135 @@
+// Local (per-site) collection semantics: the decoupling of §2.1 — local
+// roots, conservative global roots, proxy collection and the narrowing of
+// the root set by GGD.
+#include <gtest/gtest.h>
+
+#include "runtime/runtime.hpp"
+
+namespace cgc {
+namespace {
+
+NetworkConfig quiet() {
+  return NetworkConfig{.min_latency = 1,
+                       .max_latency = 2,
+                       .drop_rate = 0,
+                       .duplicate_rate = 0,
+                       .seed = 23};
+}
+
+TEST(LocalGc, CollectsUnreachableChain) {
+  DistributedRuntime rt(quiet());
+  const SiteId s = rt.add_site();
+  const ObjectId root = rt.create_root_object(s);
+  const ObjectId a = rt.create_object(s, root);
+  const ObjectId b = rt.create_object(s, a);
+  const ObjectId c = rt.create_object(s, b);
+  rt.drop_ref(root, a);
+  rt.collect_site(s);
+  EXPECT_FALSE(rt.object_exists(a));
+  EXPECT_FALSE(rt.object_exists(b));
+  EXPECT_FALSE(rt.object_exists(c));
+}
+
+TEST(LocalGc, CollectsLocalCycles) {
+  // Local cycles need no GGD at all — per-site mark-sweep handles them.
+  DistributedRuntime rt(quiet());
+  const SiteId s = rt.add_site();
+  const ObjectId root = rt.create_root_object(s);
+  const ObjectId a = rt.create_object(s, root);
+  const ObjectId b = rt.create_object(s, a);
+  rt.add_local_ref(b, a);  // cycle a <-> b
+  rt.drop_ref(root, a);
+  rt.collect_site(s);
+  EXPECT_FALSE(rt.object_exists(a));
+  EXPECT_FALSE(rt.object_exists(b));
+}
+
+TEST(LocalGc, GlobalRootsAreConservativelyKept) {
+  // An exported object with no local path must survive local GC: "until
+  // proven otherwise, all local objects reachable from this root are
+  // considered to be live" (§2.1).
+  DistributedRuntime rt(quiet());
+  const SiteId s1 = rt.add_site();
+  const SiteId s2 = rt.add_site();
+  const ObjectId r1 = rt.create_root_object(s1);
+  const ObjectId r2 = rt.create_root_object(s2);
+  const ObjectId x = rt.create_object(s1, r1);
+  const ObjectId child = rt.create_object(s1, x);
+  rt.send_ref(r1, r2, x);
+  rt.run();
+  rt.drop_ref(r1, x);
+  rt.collect_site(s1);  // local GC alone — GGD has said nothing yet
+  EXPECT_TRUE(rt.object_exists(x)) << "global roots are in the root set";
+  EXPECT_TRUE(rt.object_exists(child)) << "and protect what they reach";
+}
+
+TEST(LocalGc, ProxyCollectionEmitsDestruction) {
+  DistributedRuntime rt(quiet());
+  const SiteId s1 = rt.add_site();
+  const SiteId s2 = rt.add_site();
+  const ObjectId r1 = rt.create_root_object(s1);
+  const ObjectId r2 = rt.create_root_object(s2);
+  const ObjectId x = rt.create_object(s1, r1);
+  rt.send_ref(r1, r2, x);
+  rt.run();
+  ASSERT_TRUE(rt.site(s2).has_proxy(x));
+
+  rt.drop_ref(r2, x);
+  const auto before = rt.net().stats().of(MessageKind::kGgdDestruction).sent;
+  rt.collect_site(s2);
+  rt.run();
+  EXPECT_FALSE(rt.site(s2).has_proxy(x)) << "dead proxy reclaimed";
+  EXPECT_GT(rt.net().stats().of(MessageKind::kGgdDestruction).sent, before)
+      << "the collector, not the mutator, emits the edge-destruction";
+}
+
+TEST(LocalGc, GgdNarrowsTheRootSet) {
+  // After GGD strips the export, local GC reclaims the object: the §2.2
+  // division of labour ("a global root discarded by GGD may remain
+  // reachable from some local root, i.e., it is up to local garbage
+  // collection to detect and collect actual garbage").
+  DistributedRuntime rt(quiet());
+  const SiteId s1 = rt.add_site();
+  const SiteId s2 = rt.add_site();
+  const ObjectId r1 = rt.create_root_object(s1);
+  const ObjectId r2 = rt.create_root_object(s2);
+  const ObjectId x = rt.create_object(s1, r1);
+  rt.send_ref(r1, r2, x);
+  rt.run();
+  rt.drop_ref(r1, x);
+  rt.drop_ref(r2, x);
+  rt.collect_all();
+  EXPECT_FALSE(rt.site(s1).is_exported(x)) << "export stripped by GGD";
+  EXPECT_FALSE(rt.object_exists(x)) << "then local GC reclaimed it";
+}
+
+TEST(LocalGc, LocallyReachableExportSurvivesGgdRemoval) {
+  DistributedRuntime rt(quiet());
+  const SiteId s1 = rt.add_site();
+  const SiteId s2 = rt.add_site();
+  const ObjectId r1 = rt.create_root_object(s1);
+  const ObjectId r2 = rt.create_root_object(s2);
+  const ObjectId x = rt.create_object(s1, r1);
+  rt.send_ref(r1, r2, x);
+  rt.run();
+  // The remote side lets go; r1 keeps its local reference.
+  rt.drop_ref(r2, x);
+  rt.collect_all();
+  EXPECT_TRUE(rt.object_exists(x))
+      << "GGD narrowing the root set must not kill locally live objects";
+}
+
+TEST(LocalGc, IdempotentCollections) {
+  DistributedRuntime rt(quiet());
+  const SiteId s = rt.add_site();
+  const ObjectId root = rt.create_root_object(s);
+  const ObjectId a = rt.create_object(s, root);
+  rt.collect_site(s);
+  rt.collect_site(s);
+  rt.collect_all();
+  EXPECT_TRUE(rt.object_exists(a));
+  EXPECT_TRUE(rt.object_exists(root));
+}
+
+}  // namespace
+}  // namespace cgc

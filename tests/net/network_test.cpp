@@ -1,0 +1,91 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgc {
+namespace {
+
+SiteId S(std::uint64_t v) { return SiteId{v}; }
+
+TEST(Network, DeliversWithinLatencyBounds) {
+  Simulator sim;
+  Network net(sim, NetworkConfig{.min_latency = 2, .max_latency = 7,
+                                 .drop_rate = 0, .duplicate_rate = 0,
+                                 .seed = 3});
+  SimTime delivered_at = 0;
+  net.send(S(1), S(2), MessageKind::kMutator, 1,
+           [&] { delivered_at = sim.now(); });
+  EXPECT_TRUE(sim.run());
+  EXPECT_GE(delivered_at, 2u);
+  EXPECT_LE(delivered_at, 7u);
+  EXPECT_EQ(net.stats().of(MessageKind::kMutator).sent, 1u);
+  EXPECT_EQ(net.stats().of(MessageKind::kMutator).delivered, 1u);
+}
+
+TEST(Network, DropRateOneLosesEverything) {
+  Simulator sim;
+  Network net(sim, NetworkConfig{.min_latency = 1, .max_latency = 1,
+                                 .drop_rate = 1.0, .duplicate_rate = 0,
+                                 .seed = 3});
+  int delivered = 0;
+  for (int i = 0; i < 100; ++i) {
+    net.send(S(1), S(2), MessageKind::kGgdVector, 1, [&] { ++delivered; });
+  }
+  EXPECT_TRUE(sim.run());
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.stats().of(MessageKind::kGgdVector).dropped, 100u);
+}
+
+TEST(Network, DuplicateRateOneDeliversTwice) {
+  Simulator sim;
+  Network net(sim, NetworkConfig{.min_latency = 1, .max_latency = 1,
+                                 .drop_rate = 0, .duplicate_rate = 1.0,
+                                 .seed = 3});
+  int delivered = 0;
+  net.send(S(1), S(2), MessageKind::kGgdVector, 1, [&] { ++delivered; });
+  EXPECT_TRUE(sim.run());
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(net.stats().of(MessageKind::kGgdVector).duplicated, 1u);
+}
+
+TEST(Network, RandomLatencyReordersMessages) {
+  Simulator sim;
+  Network net(sim, NetworkConfig{.min_latency = 1, .max_latency = 50,
+                                 .drop_rate = 0, .duplicate_rate = 0,
+                                 .seed = 7});
+  std::vector<int> order;
+  for (int i = 0; i < 20; ++i) {
+    net.send(S(1), S(2), MessageKind::kMutator, 1,
+             [&order, i] { order.push_back(i); });
+  }
+  EXPECT_TRUE(sim.run());
+  ASSERT_EQ(order.size(), 20u);
+  EXPECT_FALSE(std::is_sorted(order.begin(), order.end()))
+      << "random latency should reorder at least one pair";
+}
+
+TEST(Network, ControlAccountingSeparatesMutatorTraffic) {
+  Simulator sim;
+  Network net(sim, NetworkConfig{});
+  net.send(S(1), S(2), MessageKind::kMutator, 4, [] {});
+  net.send(S(1), S(2), MessageKind::kReferencePass, 2, [] {});
+  net.send(S(1), S(2), MessageKind::kGgdVector, 8, [] {});
+  net.send(S(1), S(2), MessageKind::kGgdDestruction, 3, [] {});
+  EXPECT_EQ(net.stats().control_sent(), 2u);
+  EXPECT_EQ(net.stats().total_sent(), 4u);
+  EXPECT_EQ(net.stats().control_units_sent(), 11u);
+}
+
+TEST(Network, FaultRatesAdjustableMidRun) {
+  Simulator sim;
+  Network net(sim, NetworkConfig{.drop_rate = 1.0, .seed = 11});
+  int delivered = 0;
+  net.send(S(1), S(2), MessageKind::kMutator, 1, [&] { ++delivered; });
+  net.set_drop_rate(0.0);
+  net.send(S(1), S(2), MessageKind::kMutator, 1, [&] { ++delivered; });
+  EXPECT_TRUE(sim.run());
+  EXPECT_EQ(delivered, 1);
+}
+
+}  // namespace
+}  // namespace cgc

@@ -1,0 +1,216 @@
+// End-to-end tests of the distributed object runtime: sites, references in
+// messages, proxies, export tables, local GC and GGD working together.
+#include <gtest/gtest.h>
+
+#include "runtime/runtime.hpp"
+
+namespace cgc {
+namespace {
+
+NetworkConfig quiet_net() {
+  return NetworkConfig{.min_latency = 1,
+                       .max_latency = 3,
+                       .drop_rate = 0,
+                       .duplicate_rate = 0,
+                       .seed = 17};
+}
+
+TEST(Runtime, LocalObjectLifecycle) {
+  DistributedRuntime rt(quiet_net());
+  const SiteId s1 = rt.add_site();
+  const ObjectId root = rt.create_root_object(s1);
+  const ObjectId a = rt.create_object(s1, root);
+  const ObjectId b = rt.create_object(s1, a);
+  EXPECT_EQ(rt.total_objects(), 3u);
+
+  rt.drop_ref(a, b);
+  rt.collect_site(s1);
+  EXPECT_FALSE(rt.object_exists(b));
+  EXPECT_TRUE(rt.object_exists(a));
+
+  rt.drop_ref(root, a);
+  rt.collect_site(s1);
+  EXPECT_FALSE(rt.object_exists(a));
+  EXPECT_TRUE(rt.object_exists(root)) << "local roots are never collected";
+}
+
+TEST(Runtime, CrossSiteReferenceCreatesProxyAndExport) {
+  DistributedRuntime rt(quiet_net());
+  const SiteId s1 = rt.add_site();
+  const SiteId s2 = rt.add_site();
+  const ObjectId r1 = rt.create_root_object(s1);
+  const ObjectId r2 = rt.create_root_object(s2);
+  const ObjectId x = rt.create_object(s1, r1);
+
+  // r1 sends the reference of x to r2 (cross-site).
+  rt.send_ref(r1, r2, x);
+  ASSERT_TRUE(rt.run());
+
+  EXPECT_TRUE(rt.site(s1).is_exported(x)) << "x gained a remote referrer";
+  EXPECT_TRUE(rt.site(s2).has_proxy(x));
+  EXPECT_TRUE(rt.site(s2).object(r2).references(x));
+}
+
+TEST(Runtime, RemoteReferenceKeepsObjectAliveAfterLocalDrop) {
+  DistributedRuntime rt(quiet_net());
+  const SiteId s1 = rt.add_site();
+  const SiteId s2 = rt.add_site();
+  const ObjectId r1 = rt.create_root_object(s1);
+  const ObjectId r2 = rt.create_root_object(s2);
+  const ObjectId x = rt.create_object(s1, r1);
+  rt.send_ref(r1, r2, x);
+  ASSERT_TRUE(rt.run());
+
+  // The home site drops its only local path to x. x must survive: it is a
+  // global root alleged to be remotely referenced (§2.1) — and it IS.
+  rt.drop_ref(r1, x);
+  rt.collect_all();
+  EXPECT_TRUE(rt.object_exists(x));
+  EXPECT_TRUE(rt.oracle_reachable().contains(x));
+}
+
+TEST(Runtime, UnreferencedGlobalRootIsEventuallyCollected) {
+  DistributedRuntime rt(quiet_net());
+  const SiteId s1 = rt.add_site();
+  const SiteId s2 = rt.add_site();
+  const ObjectId r1 = rt.create_root_object(s1);
+  const ObjectId r2 = rt.create_root_object(s2);
+  const ObjectId x = rt.create_object(s1, r1);
+  rt.send_ref(r1, r2, x);
+  ASSERT_TRUE(rt.run());
+
+  // Both referrers drop x: the remote side's local GC frees the proxy and
+  // emits the edge-destruction message; GGD then strips x from the global
+  // root set; the home site's local GC reclaims it.
+  rt.drop_ref(r2, x);
+  rt.drop_ref(r1, x);
+  rt.collect_all();
+  EXPECT_FALSE(rt.object_exists(x));
+}
+
+TEST(Runtime, DistributedCycleAcrossSitesIsCollected) {
+  // The paper's motivating case: a cycle of objects spanning sites, cut
+  // off from every root, is comprehensively collected — no per-site
+  // collector could do this alone.
+  DistributedRuntime rt(quiet_net());
+  const SiteId s1 = rt.add_site();
+  const SiteId s2 = rt.add_site();
+  const ObjectId r1 = rt.create_root_object(s1);
+  const ObjectId a = rt.create_object(s1, r1);
+  const ObjectId r2 = rt.create_root_object(s2);
+  const ObjectId b = rt.create_object(s2, r2);
+
+  // a -> b: r1 introduces b to a? b lives on s2; send b's ref to a's site:
+  // r2 sends ref-of-b to a (cross-site, a gains a proxy for b).
+  rt.send_ref(r2, a, b);
+  ASSERT_TRUE(rt.run());
+  // b -> a: r1 sends ref-of-a to b.
+  rt.send_ref(r1, b, a);
+  ASSERT_TRUE(rt.run());
+  rt.collect_all();
+
+  // Cut the cycle off from both roots.
+  rt.drop_ref(r1, a);
+  rt.drop_ref(r2, b);
+  rt.collect_all();
+
+  EXPECT_FALSE(rt.object_exists(a)) << "distributed cycle member leaked";
+  EXPECT_FALSE(rt.object_exists(b)) << "distributed cycle member leaked";
+}
+
+TEST(Runtime, SharedRemoteObjectSurvivesOneDrop) {
+  DistributedRuntime rt(quiet_net());
+  const SiteId s1 = rt.add_site();
+  const SiteId s2 = rt.add_site();
+  const SiteId s3 = rt.add_site();
+  const ObjectId r1 = rt.create_root_object(s1);
+  const ObjectId r2 = rt.create_root_object(s2);
+  const ObjectId r3 = rt.create_root_object(s3);
+  const ObjectId x = rt.create_object(s1, r1);
+  rt.send_ref(r1, r2, x);
+  rt.send_ref(r1, r3, x);
+  ASSERT_TRUE(rt.run());
+
+  rt.drop_ref(r1, x);
+  rt.drop_ref(r2, x);
+  rt.collect_all();
+  EXPECT_TRUE(rt.object_exists(x)) << "still referenced from site 3";
+
+  rt.drop_ref(r3, x);
+  rt.collect_all();
+  EXPECT_FALSE(rt.object_exists(x));
+}
+
+TEST(Runtime, ThirdPartyForwardingKeepsTargetAlive) {
+  // s1 forwards its reference of remote x (home s2) to s3, then drops its
+  // own: x must stay alive through s3 — the lazy log-keeping scenario of
+  // Fig. 7.
+  DistributedRuntime rt(quiet_net());
+  const SiteId s1 = rt.add_site();
+  const SiteId s2 = rt.add_site();
+  const SiteId s3 = rt.add_site();
+  const ObjectId r1 = rt.create_root_object(s1);
+  const ObjectId r2 = rt.create_root_object(s2);
+  const ObjectId r3 = rt.create_root_object(s3);
+  const ObjectId x = rt.create_object(s2, r2);
+  rt.send_ref(r2, r1, x);  // r1 (s1) now holds x
+  ASSERT_TRUE(rt.run());
+  rt.drop_ref(r2, x);  // home keeps x only via the export
+  rt.collect_all();
+  ASSERT_TRUE(rt.object_exists(x));
+
+  rt.send_ref(r1, r3, x);  // third-party forward s1 -> s3
+  ASSERT_TRUE(rt.run());
+  rt.drop_ref(r1, x);  // forwarder drops its own reference
+  rt.collect_all();
+  EXPECT_TRUE(rt.object_exists(x)) << "alive through the forwarded ref";
+
+  rt.drop_ref(r3, x);
+  rt.collect_all();
+  EXPECT_FALSE(rt.object_exists(x));
+}
+
+TEST(Runtime, OracleMatchesCollectorOnRandomishTopology) {
+  DistributedRuntime rt(quiet_net());
+  std::vector<SiteId> sites;
+  std::vector<ObjectId> roots;
+  for (int i = 0; i < 4; ++i) {
+    sites.push_back(rt.add_site());
+    roots.push_back(rt.create_root_object(sites.back()));
+  }
+  // A chain of objects across sites: root0 -> o0 (s0) -> o1 (s1) -> o2
+  // (s2) -> o3 (s3), links carried by messages.
+  std::vector<ObjectId> chain;
+  chain.push_back(rt.create_object(sites[0], roots[0]));
+  for (int i = 1; i < 4; ++i) {
+    const ObjectId next = rt.create_object(sites[static_cast<size_t>(i)],
+                                           roots[static_cast<size_t>(i)]);
+    // Link chain[i-1] -> next across sites: the owner root of next sends
+    // next's reference to chain[i-1].
+    rt.send_ref(roots[static_cast<size_t>(i)], chain.back(), next);
+    ASSERT_TRUE(rt.run());
+    // The carrier root then forgets next; the chain holds it.
+    rt.drop_ref(roots[static_cast<size_t>(i)], next);
+    chain.push_back(next);
+  }
+  rt.collect_all();
+  for (ObjectId o : chain) {
+    EXPECT_TRUE(rt.object_exists(o));
+  }
+
+  // Cut the chain at its head: everything downstream dies, across all
+  // sites, in one steady-state collection cycle.
+  rt.drop_ref(roots[0], chain[0]);
+  rt.collect_all();
+  for (ObjectId o : chain) {
+    EXPECT_FALSE(rt.object_exists(o)) << "chain member " << o.str();
+  }
+  // The oracle agrees: nothing unreachable survives, nothing reachable
+  // died.
+  for (ObjectId o : rt.oracle_reachable()) {
+    EXPECT_TRUE(rt.object_exists(o));
+  }
+}
+
+}  // namespace
+}  // namespace cgc

@@ -1,0 +1,75 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cgc {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_in(5, [&] { order.push_back(2); });
+  sim.schedule_in(1, [&] { order.push_back(1); });
+  sim.schedule_in(9, [&] { order.push_back(3); });
+  EXPECT_TRUE(sim.run());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 9u);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_in(3, [&order, i] { order.push_back(i); });
+  }
+  EXPECT_TRUE(sim.run());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Simulator, EventsMayScheduleFurtherEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) {
+      sim.schedule_in(1, recurse);
+    }
+  };
+  sim.schedule_in(1, recurse);
+  EXPECT_TRUE(sim.run());
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(Simulator, RunHonoursEventBudget) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> forever = [&] {
+    ++count;
+    sim.schedule_in(1, forever);
+  };
+  sim.schedule_in(0, forever);
+  EXPECT_FALSE(sim.run(50));
+  EXPECT_EQ(count, 50);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  SimTime seen = 0;
+  sim.schedule_at(42, [&] { seen = sim.now(); });
+  EXPECT_TRUE(sim.run());
+  EXPECT_EQ(seen, 42u);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(sim.executed(), 0u);
+}
+
+}  // namespace
+}  // namespace cgc

@@ -1,0 +1,134 @@
+#include "vclock/dependency_vector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgc {
+namespace {
+
+ProcessId P(std::uint64_t v) { return ProcessId{v}; }
+
+TEST(DependencyVector, AbsentEntriesReadAsZero) {
+  DependencyVector dv;
+  EXPECT_EQ(dv.get(P(7)), Timestamp{});
+  EXPECT_TRUE(dv.empty());
+}
+
+TEST(DependencyVector, SetAndGet) {
+  DependencyVector dv;
+  dv.set(P(1), Timestamp::creation(3));
+  EXPECT_EQ(dv.get(P(1)), Timestamp::creation(3));
+  EXPECT_EQ(dv.size(), 1u);
+}
+
+TEST(DependencyVector, SettingZeroErases) {
+  DependencyVector dv;
+  dv.set(P(1), Timestamp::creation(3));
+  dv.set(P(1), Timestamp{});
+  EXPECT_TRUE(dv.empty());
+}
+
+TEST(DependencyVector, IncrementStartsAtOne) {
+  DependencyVector dv;
+  EXPECT_EQ(dv.increment(P(2)), Timestamp::creation(1));
+  EXPECT_EQ(dv.increment(P(2)), Timestamp::creation(2));
+}
+
+TEST(DependencyVector, IncrementSupersedesDestruction) {
+  DependencyVector dv;
+  dv.set(P(2), Timestamp::destruction(4));
+  // A re-created edge starts a fresh live entry above the marker.
+  EXPECT_EQ(dv.increment(P(2)), Timestamp::creation(5));
+  EXPECT_FALSE(dv.get(P(2)).is_delta());
+}
+
+TEST(DependencyVector, MergeIsComponentwiseMax) {
+  DependencyVector a;
+  a.set(P(1), Timestamp::creation(1));
+  a.set(P(2), Timestamp::creation(5));
+  DependencyVector b;
+  b.set(P(2), Timestamp::creation(3));
+  b.set(P(3), Timestamp::destruction(2));
+  a.merge(b);
+  EXPECT_EQ(a.get(P(1)), Timestamp::creation(1));
+  EXPECT_EQ(a.get(P(2)), Timestamp::creation(5));
+  EXPECT_EQ(a.get(P(3)), Timestamp::destruction(2));
+}
+
+TEST(DependencyVector, MergeIsIdempotentAndCommutative) {
+  DependencyVector a;
+  a.set(P(1), Timestamp::creation(2));
+  a.set(P(2), Timestamp::destruction(3));
+  DependencyVector b;
+  b.set(P(1), Timestamp::destruction(2));
+  b.set(P(3), Timestamp::creation(1));
+
+  DependencyVector ab = a;
+  ab.merge(b);
+  DependencyVector ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);
+
+  DependencyVector abb = ab;
+  abb.merge(b);
+  EXPECT_EQ(abb, ab);
+}
+
+TEST(DependencyVector, SchwarzMatternPartialOrder) {
+  // V(a) < V(b) iff a -> b (§3.2). Δ entries compare as 0.
+  DependencyVector va;
+  va.set(P(1), Timestamp::creation(1));
+  va.set(P(2), Timestamp::creation(1));
+  DependencyVector vb;
+  vb.set(P(1), Timestamp::creation(1));
+  vb.set(P(2), Timestamp::creation(2));
+  EXPECT_TRUE(va.leq(vb));
+  EXPECT_TRUE(va.less(vb));
+  EXPECT_FALSE(vb.leq(va));
+
+  // Destruction marker counts as 0: (E5, 1) <= (0, 1).
+  DependencyVector vc;
+  vc.set(P(1), Timestamp::destruction(5));
+  vc.set(P(2), Timestamp::creation(1));
+  DependencyVector vd;
+  vd.set(P(2), Timestamp::creation(1));
+  EXPECT_TRUE(vc.leq(vd));
+  EXPECT_TRUE(vd.leq(vc));
+  EXPECT_TRUE(vc.effective_equal(vd));
+  EXPECT_FALSE(vc.less(vd));
+}
+
+TEST(DependencyVector, PaperExampleComparison) {
+  // §3.2: V(e4,2) < V(e2,2), i.e. (1,1,2,2) < (1,2,2,2), demonstrates that
+  // global root 2 is reachable from global root 4 when e2,2 occurs.
+  DependencyVector e42;
+  e42.set(P(1), Timestamp::creation(1));
+  e42.set(P(2), Timestamp::creation(1));
+  e42.set(P(3), Timestamp::creation(2));
+  e42.set(P(4), Timestamp::creation(2));
+  DependencyVector e22;
+  e22.set(P(1), Timestamp::creation(1));
+  e22.set(P(2), Timestamp::creation(2));
+  e22.set(P(3), Timestamp::creation(2));
+  e22.set(P(4), Timestamp::creation(2));
+  EXPECT_TRUE(e42.less(e22));
+  EXPECT_FALSE(e22.less(e42));
+}
+
+TEST(DependencyVector, LiveProcessesSkipsDelta) {
+  DependencyVector dv;
+  dv.set(P(1), Timestamp::destruction(3));
+  dv.set(P(2), Timestamp::creation(1));
+  dv.set(P(4), Timestamp::creation(2));
+  EXPECT_EQ(dv.live_processes(), (std::vector<ProcessId>{P(2), P(4)}));
+  EXPECT_EQ(dv.known_processes(), (std::vector<ProcessId>{P(1), P(2), P(4)}));
+}
+
+TEST(DependencyVector, FixedUniverseRendering) {
+  DependencyVector dv;
+  dv.set(P(1), Timestamp::destruction(1));
+  dv.set(P(2), Timestamp::creation(3));
+  EXPECT_EQ(dv.str({P(1), P(2), P(3)}), "(E1, 3, 0)");
+}
+
+}  // namespace
+}  // namespace cgc

@@ -1,0 +1,59 @@
+#include "vclock/dv_log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgc {
+namespace {
+
+ProcessId P(std::uint64_t v) { return ProcessId{v}; }
+
+TEST(DvLog, SelfRowAndOwnTimestamp) {
+  DvLog log(P(2));
+  EXPECT_EQ(log.self(), P(2));
+  EXPECT_EQ(log.own_timestamp(), Timestamp{});
+  EXPECT_EQ(log.new_local_event(), Timestamp::creation(1));
+  EXPECT_EQ(log.new_local_event(), Timestamp::creation(2));
+  EXPECT_EQ(log.own_timestamp(), Timestamp::creation(2));
+}
+
+TEST(DvLog, AbsentRowsReadEmpty) {
+  DvLog log(P(2));
+  EXPECT_FALSE(log.has_row(P(9)));
+  EXPECT_TRUE(log.row(P(9)).empty());  // const access does not create
+  const DvLog& clog = log;
+  EXPECT_TRUE(clog.row(P(9)).empty());
+}
+
+TEST(DvLog, MutableRowAccessCreates) {
+  DvLog log(P(2));
+  log.row(P(3)).set(P(4), Timestamp::creation(1));
+  EXPECT_TRUE(log.has_row(P(3)));
+  EXPECT_EQ(log.row(P(3)).get(P(4)), Timestamp::creation(1));
+}
+
+TEST(DvLog, EraseRow) {
+  DvLog log(P(2));
+  log.row(P(3)).set(P(4), Timestamp::creation(1));
+  log.erase_row(P(3));
+  EXPECT_FALSE(log.has_row(P(3)));
+}
+
+TEST(DvLog, EntryCountSpansAllRows) {
+  DvLog log(P(2));
+  log.self_row().set(P(1), Timestamp::creation(1));
+  log.self_row().set(P(2), Timestamp::creation(2));
+  log.row(P(3)).set(P(4), Timestamp::creation(1));
+  EXPECT_EQ(log.entry_count(), 3u);
+}
+
+TEST(DvLog, FixedUniverseRendering) {
+  DvLog log(P(2));
+  log.self_row().set(P(1), Timestamp::destruction(1));
+  log.self_row().set(P(2), Timestamp::creation(3));
+  const std::string s = log.str({P(1), P(2)});
+  EXPECT_NE(s.find("DV[2] = (E1, 3)"), std::string::npos);
+  EXPECT_NE(s.find("DV[1] = (0, 0)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cgc

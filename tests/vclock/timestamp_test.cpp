@@ -1,0 +1,86 @@
+#include "vclock/timestamp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgc {
+namespace {
+
+TEST(Timestamp, DefaultIsZeroAndDelta) {
+  Timestamp ts;
+  EXPECT_EQ(ts.index(), 0u);
+  EXPECT_FALSE(ts.destroyed());
+  EXPECT_TRUE(ts.is_delta());
+  EXPECT_EQ(ts.effective_index(), 0u);
+  EXPECT_EQ(ts.str(), "0");
+}
+
+TEST(Timestamp, CreationIsLive) {
+  Timestamp ts = Timestamp::creation(3);
+  EXPECT_EQ(ts.index(), 3u);
+  EXPECT_FALSE(ts.is_delta());
+  EXPECT_EQ(ts.effective_index(), 3u);
+  EXPECT_EQ(ts.str(), "3");
+}
+
+TEST(Timestamp, DestructionIsDeltaButKeepsIndex) {
+  Timestamp ts = Timestamp::destruction(5);
+  EXPECT_EQ(ts.index(), 5u);
+  EXPECT_TRUE(ts.destroyed());
+  EXPECT_TRUE(ts.is_delta());
+  // §3.2: destruction markers compare as if no creation had been sent.
+  EXPECT_EQ(ts.effective_index(), 0u);
+  EXPECT_EQ(ts.str(), "E5");
+}
+
+TEST(Timestamp, MergePrefersLargerIndex) {
+  EXPECT_EQ(Timestamp::merge(Timestamp::creation(2), Timestamp::creation(7)),
+            Timestamp::creation(7));
+  EXPECT_EQ(Timestamp::merge(Timestamp::creation(7), Timestamp::creation(2)),
+            Timestamp::creation(7));
+  // A newer creation supersedes an older destruction (edge re-created).
+  EXPECT_EQ(
+      Timestamp::merge(Timestamp::destruction(3), Timestamp::creation(4)),
+      Timestamp::creation(4));
+  // A newer destruction supersedes an older creation.
+  EXPECT_EQ(
+      Timestamp::merge(Timestamp::creation(3), Timestamp::destruction(4)),
+      Timestamp::destruction(4));
+}
+
+TEST(Timestamp, MergeAtEqualIndexDestructionWins) {
+  // The destruction of the edge carrying index t is causally later than
+  // the creation event with the same index.
+  EXPECT_EQ(
+      Timestamp::merge(Timestamp::creation(4), Timestamp::destruction(4)),
+      Timestamp::destruction(4));
+  EXPECT_EQ(
+      Timestamp::merge(Timestamp::destruction(4), Timestamp::creation(4)),
+      Timestamp::destruction(4));
+}
+
+TEST(Timestamp, SupersedesIsStrict) {
+  EXPECT_TRUE(Timestamp::creation(5).supersedes(Timestamp::creation(4)));
+  EXPECT_FALSE(Timestamp::creation(4).supersedes(Timestamp::creation(4)));
+  EXPECT_TRUE(Timestamp::destruction(4).supersedes(Timestamp::creation(4)));
+  EXPECT_FALSE(Timestamp::creation(4).supersedes(Timestamp::destruction(4)));
+  EXPECT_FALSE(
+      Timestamp::destruction(4).supersedes(Timestamp::destruction(4)));
+  EXPECT_TRUE(Timestamp::destruction(1).supersedes(Timestamp{}));
+}
+
+TEST(Timestamp, IdempotentMerge) {
+  const Timestamp values[] = {Timestamp{}, Timestamp::creation(1),
+                              Timestamp::destruction(1),
+                              Timestamp::creation(9),
+                              Timestamp::destruction(9)};
+  for (Timestamp a : values) {
+    EXPECT_EQ(Timestamp::merge(a, a), a);
+    for (Timestamp b : values) {
+      // Commutative and associative enough: order never matters.
+      EXPECT_EQ(Timestamp::merge(a, b), Timestamp::merge(b, a));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cgc

@@ -1,0 +1,154 @@
+// Tests for the workload layer: trace builders, scenario ground truth and
+// the reachability oracle itself (the oracle must be right, or every
+// safety result above it is worthless).
+#include <gtest/gtest.h>
+
+#include "workload/builders.hpp"
+#include "workload/ops.hpp"
+#include "workload/replay.hpp"
+#include "workload/scenario.hpp"
+
+namespace cgc {
+namespace {
+
+Scenario::Config quiet(std::uint64_t seed) {
+  return Scenario::Config{
+      .net = NetworkConfig{.min_latency = 1,
+                           .max_latency = 2,
+                           .drop_rate = 0,
+                           .duplicate_rate = 0,
+                           .seed = seed},
+  };
+}
+
+TEST(Scenario, GroundTruthTracksDeliveredEdges) {
+  Scenario s(quiet(1));
+  const ProcessId root = s.add_root();
+  const ProcessId a = s.create(root);
+  EXPECT_FALSE(s.holds(root, a)) << "edge exists only after delivery";
+  s.run();
+  EXPECT_TRUE(s.holds(root, a));
+}
+
+TEST(Scenario, DroppedMessagesNeverCreateEdges) {
+  Scenario::Config cfg = quiet(2);
+  cfg.net.drop_rate = 1.0;
+  Scenario s(cfg);
+  const ProcessId root = s.add_root();
+  const ProcessId a = s.create(root);
+  s.run();
+  EXPECT_FALSE(s.holds(root, a));
+  EXPECT_FALSE(s.reachable().contains(a));
+}
+
+TEST(Scenario, OracleReachability) {
+  Scenario s(quiet(3));
+  const ProcessId root = s.add_root();
+  const ProcessId a = s.create(root);
+  s.run();
+  const ProcessId b = s.create(a);
+  s.run();
+  const ProcessId c = s.create(b);
+  s.run();
+  EXPECT_EQ(s.reachable(), (std::set<ProcessId>{root, a, b, c}));
+
+  s.drop_ref(a, b);
+  EXPECT_EQ(s.reachable(), (std::set<ProcessId>{root, a}));
+  EXPECT_EQ(s.true_garbage(), (std::set<ProcessId>{b, c}));
+}
+
+TEST(Scenario, MutatorCannotForwardWhatItLacks) {
+  Scenario s(quiet(4));
+  const ProcessId root = s.add_root();
+  const ProcessId a = s.create(root);
+  const ProcessId b = s.create(root);
+  s.run();
+  EXPECT_DEATH(s.send_third_party_ref(a, b, root), "cannot forward");
+}
+
+TEST(Builders, DoublyLinkedListShape) {
+  Scenario s(quiet(5));
+  const ProcessId root = s.add_root();
+  const auto elems = build_doubly_linked_list(s, root, 5);
+  ASSERT_EQ(elems.size(), 5u);
+  EXPECT_TRUE(s.holds(root, elems[0]));
+  for (std::size_t i = 0; i + 1 < 5; ++i) {
+    EXPECT_TRUE(s.holds(elems[i], elems[i + 1])) << "forward link " << i;
+    EXPECT_TRUE(s.holds(elems[i + 1], elems[i])) << "back link " << i;
+  }
+}
+
+TEST(Builders, RingShape) {
+  Scenario s(quiet(6));
+  const ProcessId root = s.add_root();
+  const auto elems = build_ring(s, root, 4);
+  for (std::size_t i = 0; i + 1 < 4; ++i) {
+    EXPECT_TRUE(s.holds(elems[i], elems[i + 1]));
+  }
+  EXPECT_TRUE(s.holds(elems[3], elems[0])) << "ring closed";
+}
+
+TEST(Builders, TreeShape) {
+  Scenario s(quiet(7));
+  const ProcessId root = s.add_root();
+  const auto nodes = build_tree(s, root, 2, 3);
+  // 1 + 2 + 4 + 8 nodes.
+  EXPECT_EQ(nodes.size(), 15u);
+  EXPECT_EQ(s.reachable().size(), 16u);  // + root
+}
+
+TEST(Builders, RandomGraphIsInitiallyFullyReachable) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    Scenario s(quiet(seed));
+    const ProcessId root = s.add_root();
+    const auto nodes = build_random_graph(s, root, 20, 15, rng);
+    EXPECT_EQ(s.reachable().size(), nodes.size() + 1) << "seed " << seed;
+    EXPECT_TRUE(s.true_garbage().empty()) << "seed " << seed;
+  }
+}
+
+TEST(Traces, DoublyLinkedListTraceMatchesBuilder) {
+  // Replaying the system-neutral trace on a Scenario produces the same
+  // ground truth as the direct builder.
+  std::vector<ProcessId> elems;
+  const TraceBuilder t = traces::doubly_linked_list(4, &elems);
+  Scenario s(quiet(8));
+  std::vector<MutatorOp> build(t.ops().begin(), t.ops().end() - 1);
+  replay_on_scenario(s, build);
+  for (std::size_t i = 0; i + 1 < 4; ++i) {
+    EXPECT_TRUE(s.holds(elems[i], elems[i + 1]));
+    EXPECT_TRUE(s.holds(elems[i + 1], elems[i]));
+  }
+  // The final op severs the root edge.
+  EXPECT_EQ(t.ops().back().kind, MutatorOp::Kind::kDrop);
+}
+
+TEST(Traces, LiveAndGarbageCounts) {
+  const TraceBuilder t = traces::live_and_garbage(5, 3);
+  Scenario s(quiet(9));
+  replay_on_scenario(s, t.ops());
+  // After the cut: 5 live objects + root reachable; 3 garbage.
+  EXPECT_EQ(s.reachable().size(), 6u);
+  EXPECT_EQ(s.true_garbage().size(), 3u);
+}
+
+TEST(Scenario, SafetyAccountingIsConsistent) {
+  // safety_holds() must agree with the oracle when everything behaved.
+  Scenario s(quiet(10));
+  const ProcessId root = s.add_root();
+  const ProcessId a = s.create(root);
+  s.run();
+  const ProcessId b = s.create(a);
+  s.run();
+  s.drop_ref(a, b);
+  s.run_with_sweeps();
+  EXPECT_TRUE(s.safety_holds());
+  EXPECT_TRUE(s.violations().empty());
+  EXPECT_TRUE(s.removed().contains(b));
+  EXPECT_FALSE(s.removed().contains(a));
+  EXPECT_TRUE(s.residual_garbage().empty());
+}
+
+}  // namespace
+}  // namespace cgc
