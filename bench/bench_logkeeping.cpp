@@ -23,45 +23,6 @@ NetworkConfig unit_net() {
                        .seed = 13};
 }
 
-/// A mutator phase heavy on third-party exchanges: n objects, then f
-/// forwards of random held references between random holders. No garbage
-/// is created (no drops), isolating pure log-keeping overhead.
-TraceBuilder forward_heavy(std::size_t n, std::size_t f, Rng& rng) {
-  TraceBuilder t;
-  const ProcessId root = t.add_root();
-  std::vector<ProcessId> objs;
-  // Everything hangs off the root so every object can forward/receive.
-  for (std::size_t i = 0; i < n; ++i) {
-    objs.push_back(t.create(root));
-  }
-  // The root forwards its references around: holder gains target.
-  std::map<ProcessId, std::set<ProcessId>> held;
-  for (ProcessId o : objs) {
-    held[root].insert(o);
-  }
-  std::vector<ProcessId> holders{root};
-  for (std::size_t i = 0; i < f; ++i) {
-    const ProcessId holder = holders[rng.below(holders.size())];
-    auto& refs = held[holder];
-    if (refs.empty()) {
-      continue;
-    }
-    auto it = refs.begin();
-    std::advance(it, static_cast<long>(rng.below(refs.size())));
-    const ProcessId target = *it;
-    const ProcessId recipient = objs[rng.below(objs.size())];
-    if (recipient == target || recipient == holder) {
-      continue;
-    }
-    t.link_third(holder, target, recipient);
-    held[recipient].insert(target);
-    if (!std::count(holders.begin(), holders.end(), recipient)) {
-      holders.push_back(recipient);
-    }
-  }
-  return t;
-}
-
 }  // namespace
 }  // namespace cgc
 
@@ -75,7 +36,7 @@ int main() {
                "eager_ctrl", "wrc_ctrl"});
   for (std::size_t f : {16u, 64u, 256u, 1024u}) {
     Rng rng(f);
-    const TraceBuilder t = forward_heavy(32, f, rng);
+    const TraceBuilder t = traces::forward_heavy(32, f, rng);
 
     Scenario ours(Scenario::Config{.net = unit_net()});
     replay_on_scenario(ours, t.ops());
@@ -106,5 +67,41 @@ int main() {
   table.print(std::cout);
   std::cout << "\nexpected shape: lazy_ctrl stays 0 while eager_ctrl grows "
                "with the number of third-party forwards.\n";
+
+  // Wire-transport addendum: the same workload, same seed, with and
+  // without per-tick batching. Messages and bytes are identical (the
+  // protocol does the same work); only the packet count changes.
+  std::cout << "\nwire transport: per-tick batching vs one packet per "
+               "message (same workload, same seed)\n";
+  Table wire_table({"forwards", "messages", "msg_bytes", "packets_batched",
+                    "packets_unbatched", "packet_reduction"});
+  for (std::size_t f : {64u, 256u, 1024u}) {
+    auto run_with = [&](wire::FlushPolicy flush) {
+      Rng rng(f);
+      const TraceBuilder t = traces::forward_heavy(32, f, rng);
+      NetworkConfig net = unit_net();
+      net.flush = flush;
+      Simulator sim;
+      Network n(sim, net);
+      GgdEngine engine(n);
+      // Replay without per-op quiescence so same-tick bursts exist for
+      // batching to coalesce.
+      replay_on_engine(engine, t.ops(), /*quiesce_between=*/false);
+      return std::make_pair(n.stats().total_sent(),
+                            std::make_pair(n.stats().total_bytes_sent(),
+                                           n.stats().packets().sent));
+    };
+    const auto [msgs_b, rest_b] = run_with(wire::FlushPolicy::kPerTick);
+    const auto [bytes_b, packets_b] = rest_b;
+    const auto [msgs_u, rest_u] = run_with(wire::FlushPolicy::kImmediate);
+    (void)msgs_u;
+    const auto packets_u = rest_u.second;
+    wire_table.row(f, msgs_b, bytes_b, packets_b, packets_u,
+                   static_cast<double>(packets_u) /
+                       static_cast<double>(packets_b));
+  }
+  wire_table.print(std::cout);
+  std::cout << "\nexpected shape: packets_batched < packets_unbatched — "
+               "same-tick bursts to one destination share a packet.\n";
   return 0;
 }

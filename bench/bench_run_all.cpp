@@ -1,0 +1,243 @@
+// Machine-readable bench driver (the `run_all` CMake target).
+//
+// Runs fixed-seed representative workloads and writes BENCH_*.json files
+// into the working directory: exact per-kind message counts and encoded
+// byte counts, plus packet-level transport numbers for the batched and
+// unbatched configurations. These files seed the performance trajectory —
+// future PRs diff them to prove a hot path got cheaper.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/schelvis/schelvis.hpp"
+#include "baselines/wrc/wrc.hpp"
+#include "common/rng.hpp"
+#include "workload/builders.hpp"
+#include "workload/replay.hpp"
+#include "workload/scenario.hpp"
+
+namespace cgc {
+namespace {
+
+NetworkConfig unit_net(wire::FlushPolicy flush) {
+  return NetworkConfig{.min_latency = 1,
+                       .max_latency = 1,
+                       .drop_rate = 0,
+                       .duplicate_rate = 0,
+                       .seed = 13,
+                       .flush = flush};
+}
+
+/// Minimal JSON writer: the schema is flat enough that a dependency would
+/// be overkill, but the output must stay parseable by standard tooling.
+class Json {
+ public:
+  explicit Json(std::ostream& os) : os_(os) {}
+
+  void open(char c) {
+    pad();
+    os_ << c << '\n';
+    ++depth_;
+    first_ = true;
+  }
+  void close(char c) {
+    --depth_;
+    os_ << '\n';
+    pad(true);
+    os_ << c;
+    first_ = false;
+  }
+  void key(const std::string& k) {
+    comma();
+    pad();
+    os_ << '"' << k << "\": ";
+    inline_value_ = true;
+  }
+  void value(std::uint64_t v) {
+    os_ << v;
+    inline_value_ = false;
+  }
+  void value(const std::string& v) {
+    os_ << '"' << v << '"';
+    inline_value_ = false;
+  }
+
+ private:
+  void comma() {
+    if (!first_) {
+      os_ << ",\n";
+    }
+    first_ = false;
+  }
+  void pad(bool force = false) {
+    if (inline_value_ && !force) {
+      return;
+    }
+    for (int i = 0; i < depth_; ++i) {
+      os_ << "  ";
+    }
+  }
+
+  std::ostream& os_;
+  int depth_ = 0;
+  bool first_ = true;
+  bool inline_value_ = false;
+};
+
+void write_kind_counters(Json& json, const MessageStats& stats) {
+  json.key("kinds");
+  json.open('{');
+  for (std::size_t i = 0; i < static_cast<std::size_t>(MessageKind::kCount);
+       ++i) {
+    const auto kind = static_cast<MessageKind>(i);
+    const auto& c = stats.of(kind);
+    if (c.sent == 0) {
+      continue;
+    }
+    json.key(std::string(to_string(kind)));
+    json.open('{');
+    json.key("sent");
+    json.value(c.sent);
+    json.key("delivered");
+    json.value(c.delivered);
+    json.key("dropped");
+    json.value(c.dropped);
+    json.key("duplicated");
+    json.value(c.duplicated);
+    json.key("bytes_sent");
+    json.value(c.bytes_sent);
+    json.close('}');
+  }
+  json.close('}');
+}
+
+void write_packet_counters(Json& json, const MessageStats& stats) {
+  const auto& p = stats.packets();
+  json.key("packets");
+  json.open('{');
+  json.key("sent");
+  json.value(p.sent);
+  json.key("delivered");
+  json.value(p.delivered);
+  json.key("dropped");
+  json.value(p.dropped);
+  json.key("duplicated");
+  json.value(p.duplicated);
+  json.key("bytes_sent");
+  json.value(p.bytes_sent);
+  json.close('}');
+}
+
+void write_stats_entry(Json& json, const std::string& name,
+                       wire::FlushPolicy flush, const MessageStats& stats) {
+  json.key(name);
+  json.open('{');
+  json.key("flush");
+  json.value(flush == wire::FlushPolicy::kPerTick
+                 ? std::string("per_tick")
+                 : std::string("immediate"));
+  write_kind_counters(json, stats);
+  write_packet_counters(json, stats);
+  json.close('}');
+}
+
+void emit_transport_bench(const std::string& path) {
+  std::ofstream os(path);
+  Json json(os);
+  json.open('{');
+  json.key("bench");
+  json.value(std::string("transport"));
+  json.key("workloads");
+  json.open('{');
+
+  // Workload 1: forward-heavy mutator phase, batched vs unbatched.
+  for (const auto flush :
+       {wire::FlushPolicy::kPerTick, wire::FlushPolicy::kImmediate}) {
+    Rng rng(256);
+    const TraceBuilder t = traces::forward_heavy(32, 256, rng);
+    Simulator sim;
+    Network net(sim, unit_net(flush));
+    GgdEngine engine(net);
+    replay_on_engine(engine, t.ops(), /*quiesce_between=*/false);
+    write_stats_entry(json,
+                      flush == wire::FlushPolicy::kPerTick
+                          ? "forward_heavy_batched"
+                          : "forward_heavy_unbatched",
+                      flush, net.stats());
+  }
+
+  // Workload 2: build + collect a cyclic garbage ring (GGD control
+  // traffic dominates), batched vs unbatched.
+  for (const auto flush :
+       {wire::FlushPolicy::kPerTick, wire::FlushPolicy::kImmediate}) {
+    Scenario s(Scenario::Config{.net = unit_net(flush)});
+    const ProcessId root = s.add_root();
+    const auto elems = build_ring_with_subcycles(s, root, 16);
+    s.run();
+    s.drop_ref(root, elems.front());
+    s.run_with_sweeps();
+    write_stats_entry(json,
+                      flush == wire::FlushPolicy::kPerTick
+                          ? "ring_collect_batched"
+                          : "ring_collect_unbatched",
+                      flush, s.net().stats());
+  }
+
+  json.close('}');
+  json.close('}');
+  os << '\n';
+  std::cout << "wrote " << path << '\n';
+}
+
+void emit_logkeeping_bench(const std::string& path) {
+  std::ofstream os(path);
+  Json json(os);
+  json.open('{');
+  json.key("bench");
+  json.value(std::string("logkeeping"));
+  json.key("workloads");
+  json.open('{');
+  for (std::size_t f : {64u, 256u, 1024u}) {
+    Rng rng(f);
+    const TraceBuilder t = traces::forward_heavy(32, f, rng);
+
+    Scenario ours(Scenario::Config{.net = unit_net(wire::FlushPolicy::kPerTick)});
+    replay_on_scenario(ours, t.ops());
+    write_stats_entry(json, "lazy_f" + std::to_string(f),
+                      wire::FlushPolicy::kPerTick, ours.net().stats());
+
+    Simulator sim1;
+    Network net1(sim1, unit_net(wire::FlushPolicy::kPerTick));
+    SchelvisEngine sch(net1);
+    for (const MutatorOp& op : t.ops()) {
+      sch.apply(op);
+      sim1.run();
+    }
+    write_stats_entry(json, "eager_f" + std::to_string(f),
+                      wire::FlushPolicy::kPerTick, net1.stats());
+
+    Simulator sim2;
+    Network net2(sim2, unit_net(wire::FlushPolicy::kPerTick));
+    WrcEngine wrc(net2);
+    for (const MutatorOp& op : t.ops()) {
+      wrc.apply(op);
+      sim2.run();
+    }
+    write_stats_entry(json, "wrc_f" + std::to_string(f),
+                      wire::FlushPolicy::kPerTick, net2.stats());
+  }
+  json.close('}');
+  json.close('}');
+  os << '\n';
+  std::cout << "wrote " << path << '\n';
+}
+
+}  // namespace
+}  // namespace cgc
+
+int main() {
+  cgc::emit_transport_bench("BENCH_transport.json");
+  cgc::emit_logkeeping_bench("BENCH_logkeeping.json");
+  return 0;
+}

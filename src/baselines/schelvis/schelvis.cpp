@@ -1,5 +1,8 @@
 #include "baselines/schelvis/schelvis.hpp"
 
+#include <utility>
+#include <variant>
+
 #include "common/assert.hpp"
 
 namespace cgc {
@@ -16,6 +19,32 @@ const SchelvisEngine::Node& SchelvisEngine::node(ProcessId id) const {
   return it->second;
 }
 
+void SchelvisEngine::deliver(SiteId from, SiteId to,
+                             const wire::WireMessage& msg) {
+  (void)from;
+  (void)to;
+  if (const auto* edge = std::get_if<wire::EagerEdgeUpdate>(&msg.body)) {
+    if (!nodes_.contains(edge->to) || node(edge->to).removed) {
+      return;
+    }
+    if (edge->removal) {
+      node(edge->to).in.erase(edge->from);
+      reconsider(edge->to);
+    } else {
+      node(edge->to).in.insert(edge->from);
+    }
+    return;
+  }
+  if (const auto* probe = std::get_if<wire::SchelvisProbe>(&msg.body)) {
+    probe_step(Probe{probe->origin, probe->visited, probe->path});
+    return;
+  }
+  // Mutator reference-passing traffic: accounted on the wire, state
+  // updates happen synchronously at the sender in this baseline model.
+  CGC_CHECK_MSG(std::holds_alternative<wire::RefTransfer>(msg.body),
+                "unexpected wire body at a schelvis site");
+}
+
 void SchelvisEngine::apply(const MutatorOp& op) {
   switch (op.kind) {
     case MutatorOp::Kind::kAddRoot:
@@ -25,18 +54,21 @@ void SchelvisEngine::apply(const MutatorOp& op) {
       add_node(op.a, /*root=*/false);
       // The creation message itself carries the reference (mutator
       // traffic, same as every system).
-      net_.send(site(op.b), site(op.a), MessageKind::kReferencePass, 1,
-                [] {});
+      net_.send(site(op.b), site(op.a),
+                wire::WireMessage{MessageKind::kReferencePass,
+                                  wire::RefTransfer{0, op.b, op.a}});
       add_edge(op.b, op.a, /*third_party=*/false);
       break;
     case MutatorOp::Kind::kLinkOwn:
-      net_.send(site(op.a), site(op.b), MessageKind::kReferencePass, 1,
-                [] {});
+      net_.send(site(op.a), site(op.b),
+                wire::WireMessage{MessageKind::kReferencePass,
+                                  wire::RefTransfer{0, op.b, op.a}});
       add_edge(op.b, op.a, /*third_party=*/false);
       break;
     case MutatorOp::Kind::kLinkThird:
-      net_.send(site(op.a), site(op.b), MessageKind::kReferencePass, 1,
-                [] {});
+      net_.send(site(op.a), site(op.b),
+                wire::WireMessage{MessageKind::kReferencePass,
+                                  wire::RefTransfer{0, op.b, op.c}});
       add_edge(op.b, op.c, /*third_party=*/true);
       break;
     case MutatorOp::Kind::kDrop:
@@ -49,6 +81,7 @@ void SchelvisEngine::add_node(ProcessId id, bool root) {
   auto [it, inserted] = nodes_.emplace(id, Node{});
   CGC_CHECK(inserted);
   it->second.root = root;
+  attach(id);
 }
 
 void SchelvisEngine::add_edge(ProcessId a, ProcessId b, bool third_party) {
@@ -56,12 +89,9 @@ void SchelvisEngine::add_edge(ProcessId a, ProcessId b, bool third_party) {
   if (third_party) {
     // Eager log-keeping: the target's log must be updated NOW, which for a
     // third-party exchange costs an extra control message (§2.3).
-    net_.send(site(a), site(b), MessageKind::kEagerControl, 1,
-              [this, a, b]() {
-                if (nodes_.contains(b) && !node(b).removed) {
-                  node(b).in.insert(a);
-                }
-              });
+    net_.send(site(a), site(b),
+              wire::WireMessage{MessageKind::kEagerControl,
+                                wire::EagerEdgeUpdate{a, b, false}});
   } else {
     // Two-party exchange: the target participates, its log updates with
     // the mutator message itself.
@@ -71,13 +101,9 @@ void SchelvisEngine::add_edge(ProcessId a, ProcessId b, bool third_party) {
 
 void SchelvisEngine::remove_edge(ProcessId a, ProcessId b) {
   node(a).out.erase(b);
-  net_.send(site(a), site(b), MessageKind::kEagerControl, 1, [this, a, b]() {
-    if (!nodes_.contains(b) || node(b).removed) {
-      return;
-    }
-    node(b).in.erase(a);
-    reconsider(b);
-  });
+  net_.send(site(a), site(b),
+            wire::WireMessage{MessageKind::kEagerControl,
+                              wire::EagerEdgeUpdate{a, b, true}});
 }
 
 void SchelvisEngine::reconsider(ProcessId id) {
@@ -85,57 +111,58 @@ void SchelvisEngine::reconsider(ProcessId id) {
   if (n.root || n.removed) {
     return;
   }
-  auto probe = std::make_shared<Probe>();
-  probe->origin = id;
-  probe->visited.insert(id);
-  probe->path.push_back(id);
+  Probe probe;
+  probe.origin = id;
+  probe.visited.insert(id);
+  probe.path.push_back(id);
   probe_step(std::move(probe));
 }
 
-void SchelvisEngine::probe_step(std::shared_ptr<Probe> probe) {
-  CGC_CHECK(!probe->path.empty());
-  const ProcessId cur = probe->path.back();
+void SchelvisEngine::probe_step(Probe probe) {
+  CGC_CHECK(!probe.path.empty());
+  const ProcessId cur = probe.path.back();
   if (!nodes_.contains(cur) || node(cur).removed) {
     // Dead end: backtrack.
-    probe->path.pop_back();
-    if (probe->path.empty()) {
-      conclude(*probe, /*rooted=*/false);
+    probe.path.pop_back();
+    if (probe.path.empty()) {
+      conclude(probe, /*rooted=*/false);
     } else {
-      hop(probe, cur, probe->path.back());
+      const ProcessId back = probe.path.back();
+      hop(std::move(probe), cur, back);
     }
     return;
   }
   const Node& n = node(cur);
   if (n.root) {
-    conclude(*probe, /*rooted=*/true);
+    conclude(probe, /*rooted=*/true);
     return;
   }
   for (ProcessId pred : n.in) {
-    if (!probe->visited.contains(pred)) {
-      probe->visited.insert(pred);
-      probe->path.push_back(pred);
-      hop(probe, cur, pred);
+    if (!probe.visited.contains(pred)) {
+      probe.visited.insert(pred);
+      probe.path.push_back(pred);
+      hop(std::move(probe), cur, pred);
       return;
     }
   }
   // All predecessors explored: backtrack one hop.
-  probe->path.pop_back();
-  if (probe->path.empty()) {
-    conclude(*probe, /*rooted=*/false);
+  probe.path.pop_back();
+  if (probe.path.empty()) {
+    conclude(probe, /*rooted=*/false);
   } else {
-    hop(probe, cur, probe->path.back());
+    const ProcessId back = probe.path.back();
+    hop(std::move(probe), cur, back);
   }
 }
 
-void SchelvisEngine::hop(std::shared_ptr<Probe> probe, ProcessId from,
-                         ProcessId to) {
-  // Read the size before constructing the callback: argument evaluation
-  // order is unspecified and the capture moves `probe`.
-  const std::size_t packet_size = probe->path.size();
-  net_.send(site(from), site(to), MessageKind::kSchelvisPacket, packet_size,
-            [this, probe = std::move(probe)]() mutable {
-              probe_step(std::move(probe));
-            });
+void SchelvisEngine::hop(Probe probe, ProcessId from, ProcessId to) {
+  // The probe state travels in the packet: path and visited set are the
+  // payload, so the encoded size grows as the search deepens.
+  net_.send(site(from), site(to),
+            wire::WireMessage{
+                MessageKind::kSchelvisPacket,
+                wire::SchelvisProbe{probe.origin, std::move(probe.path),
+                                    std::move(probe.visited)}});
 }
 
 void SchelvisEngine::conclude(const Probe& probe, bool rooted) {

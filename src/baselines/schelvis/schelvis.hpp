@@ -19,19 +19,22 @@
 #pragma once
 
 #include <map>
-#include <memory>
 #include <set>
 #include <vector>
 
 #include "common/types.hpp"
 #include "net/network.hpp"
+#include "wire/mailbox.hpp"
 #include "workload/ops.hpp"
 
 namespace cgc {
 
-class SchelvisEngine {
+class SchelvisEngine : public wire::Mailbox {
  public:
   explicit SchelvisEngine(Network& net) : net_(net) {}
+
+  /// Wire endpoint: eager edge updates and travelling probes.
+  void deliver(SiteId from, SiteId to, const wire::WireMessage& msg) override;
 
   /// Replays one mutator operation (edges are maintained eagerly, with the
   /// corresponding control traffic).
@@ -54,7 +57,9 @@ class SchelvisEngine {
   };
 
   /// A travelling depth-first probe: "is there an open path from an actual
-  /// root to `origin`?" One network message per hop, forward or backtrack.
+  /// root to `origin`?" One network message per hop, forward or backtrack;
+  /// the probe state is the message payload (wire::SchelvisProbe), so its
+  /// wire size grows with the explored path — §4's packet-size behaviour.
   struct Probe {
     ProcessId origin;
     std::set<ProcessId> visited;
@@ -72,12 +77,14 @@ class SchelvisEngine {
   void remove_edge(ProcessId a, ProcessId b);
 
   void reconsider(ProcessId id);
-  void probe_step(std::shared_ptr<Probe> probe);
-  void hop(std::shared_ptr<Probe> probe, ProcessId from, ProcessId to);
+  void probe_step(Probe probe);
+  void hop(Probe probe, ProcessId from, ProcessId to);
   void conclude(const Probe& probe, bool rooted);
   void remove_node(ProcessId id);
 
   [[nodiscard]] SiteId site(ProcessId id) const { return SiteId{id.value()}; }
+  /// Registers this engine as the mailbox of `id`'s site.
+  void attach(ProcessId id) { net_.register_mailbox(site(id), *this); }
 
   Network& net_;
   std::map<ProcessId, Node> nodes_;

@@ -6,26 +6,38 @@
 
 namespace cgc {
 
+namespace {
+
+wire::WireMessage ping(MessageKind kind) {
+  return wire::WireMessage{kind, wire::ControlPing{}};
+}
+
+wire::WireMessage ref_pass(ProcessId recipient, ProcessId subject) {
+  return wire::WireMessage{MessageKind::kReferencePass,
+                           wire::RefTransfer{0, recipient, subject}};
+}
+
+}  // namespace
+
 void TracingCollector::apply(const MutatorOp& op) {
   switch (op.kind) {
     case MutatorOp::Kind::kAddRoot:
       nodes_[op.a].root = true;
+      attach(op.a);
       break;
     case MutatorOp::Kind::kCreate:
       nodes_[op.a];
+      attach(op.a);
       nodes_[op.b].out.insert(op.a);
-      net_.send(site(op.b), site(op.a), MessageKind::kReferencePass, 1,
-                [] {});
+      net_.send(site(op.b), site(op.a), ref_pass(op.b, op.a));
       break;
     case MutatorOp::Kind::kLinkOwn:
       nodes_[op.b].out.insert(op.a);
-      net_.send(site(op.a), site(op.b), MessageKind::kReferencePass, 1,
-                [] {});
+      net_.send(site(op.a), site(op.b), ref_pass(op.b, op.a));
       break;
     case MutatorOp::Kind::kLinkThird:
       nodes_[op.b].out.insert(op.c);
-      net_.send(site(op.a), site(op.b), MessageKind::kReferencePass, 1,
-                [] {});
+      net_.send(site(op.a), site(op.b), ref_pass(op.b, op.c));
       break;
     case MutatorOp::Kind::kDrop: {
       auto it = nodes_.find(op.a);
@@ -37,14 +49,11 @@ void TracingCollector::apply(const MutatorOp& op) {
 }
 
 std::size_t TracingCollector::run_cycle() {
-  // The coordinator lives on a site of its own.
-  const SiteId coordinator{0};
-
   // Consensus round-trip 1: start the iteration on EVERY site.
   last_participants_ = nodes_.size();
   for (const auto& [id, n] : nodes_) {
     (void)n;
-    net_.send(coordinator, site(id), MessageKind::kTracingControl, 1, [] {});
+    net_.send(kCoordinator, site(id), ping(MessageKind::kTracingControl));
   }
 
   // Mark phase: every inter-site edge reached from a root costs one mark
@@ -61,8 +70,8 @@ std::size_t TracingCollector::run_cycle() {
     const ProcessId p = stack.back();
     stack.pop_back();
     for (ProcessId q : nodes_.at(p).out) {
-      net_.send(site(p), site(q), MessageKind::kTracingControl, 1, [] {});
-      net_.send(site(q), site(p), MessageKind::kTracingControl, 1, [] {});
+      net_.send(site(p), site(q), ping(MessageKind::kTracingControl));
+      net_.send(site(q), site(p), ping(MessageKind::kTracingControl));
       if (nodes_.contains(q) && marked.insert(q).second) {
         stack.push_back(q);
       }
@@ -73,8 +82,8 @@ std::size_t TracingCollector::run_cycle() {
   // coordinator broadcasts the sweep. Only now can anything be reclaimed.
   for (const auto& [id, n] : nodes_) {
     (void)n;
-    net_.send(site(id), coordinator, MessageKind::kTracingControl, 1, [] {});
-    net_.send(coordinator, site(id), MessageKind::kTracingControl, 1, [] {});
+    net_.send(site(id), kCoordinator, ping(MessageKind::kTracingControl));
+    net_.send(kCoordinator, site(id), ping(MessageKind::kTracingControl));
   }
 
   // Sweep.

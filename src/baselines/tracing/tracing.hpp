@@ -20,13 +20,26 @@
 
 #include "common/types.hpp"
 #include "net/network.hpp"
+#include "wire/mailbox.hpp"
 #include "workload/ops.hpp"
 
 namespace cgc {
 
-class TracingCollector {
+class TracingCollector : public wire::Mailbox {
  public:
-  explicit TracingCollector(Network& net) : net_(net) {}
+  explicit TracingCollector(Network& net) : net_(net) {
+    // The coordinator lives on a site of its own.
+    net_.register_mailbox(kCoordinator, *this);
+  }
+
+  /// Wire endpoint: all tracing traffic is fire-and-forget accounting
+  /// (marks, acks, consensus round-trips); the graph itself is inspected
+  /// in situ, so delivery is a no-op.
+  void deliver(SiteId from, SiteId to, const wire::WireMessage& msg) override {
+    (void)from;
+    (void)to;
+    (void)msg;
+  }
 
   /// Replays one mutator operation. Graph tracing needs no per-operation
   /// control messages (it inspects the graph in situ) — only the mutator
@@ -52,7 +65,11 @@ class TracingCollector {
     std::set<ProcessId> out;
   };
 
+  static constexpr SiteId kCoordinator{0};
+
   [[nodiscard]] SiteId site(ProcessId id) const { return SiteId{id.value()}; }
+  /// Registers this collector as the mailbox of `id`'s site.
+  void attach(ProcessId id) { net_.register_mailbox(site(id), *this); }
 
   Network& net_;
   std::map<ProcessId, Node> nodes_;

@@ -1,27 +1,48 @@
 #include "baselines/wrc/wrc.hpp"
 
+#include <variant>
 #include <vector>
 
 #include "common/assert.hpp"
 
 namespace cgc {
 
+namespace {
+
+wire::WireMessage ref_pass(ProcessId recipient, ProcessId subject) {
+  return wire::WireMessage{MessageKind::kReferencePass,
+                           wire::RefTransfer{0, recipient, subject}};
+}
+
+}  // namespace
+
+void WrcEngine::deliver(SiteId from, SiteId to, const wire::WireMessage& msg) {
+  (void)from;
+  (void)to;
+  if (const auto* ret = std::get_if<wire::WrcWeightReturn>(&msg.body)) {
+    on_weight_returned(ret->target, ret->weight);
+    return;
+  }
+  CGC_CHECK_MSG(std::holds_alternative<wire::RefTransfer>(msg.body),
+                "unexpected wire body at a WRC site");
+}
+
 void WrcEngine::apply(const MutatorOp& op) {
   switch (op.kind) {
     case MutatorOp::Kind::kAddRoot:
       nodes_[op.a].root = true;
+      attach(op.a);
       break;
     case MutatorOp::Kind::kCreate:
       nodes_[op.a];
-      net_.send(site(op.b), site(op.a), MessageKind::kReferencePass, 1,
-                [] {});
+      attach(op.a);
+      net_.send(site(op.b), site(op.a), ref_pass(op.b, op.a));
       grant(op.b, op.a, kInitialWeight);
       break;
     case MutatorOp::Kind::kLinkOwn:
       // The object itself issues fresh weight to the new referrer: a
       // two-party exchange, no extra control message.
-      net_.send(site(op.a), site(op.b), MessageKind::kReferencePass, 1,
-                [] {});
+      net_.send(site(op.a), site(op.b), ref_pass(op.b, op.a));
       grant(op.b, op.a, kInitialWeight);
       break;
     case MutatorOp::Kind::kLinkThird: {
@@ -34,8 +55,7 @@ void WrcEngine::apply(const MutatorOp& op) {
       const std::uint64_t half = it->second / 2;
       it->second -= half;
       ref_weight_[{op.b, op.c}] += half;
-      net_.send(site(op.a), site(op.b), MessageKind::kReferencePass, 1,
-                [] {});
+      net_.send(site(op.a), site(op.b), ref_pass(op.b, op.c));
       break;
     }
     case MutatorOp::Kind::kDrop:
@@ -56,31 +76,34 @@ void WrcEngine::return_weight(ProcessId holder, ProcessId target) {
   const std::uint64_t w = it->second;
   ref_weight_.erase(it);
   // One control message returns the weight to the object's home site.
-  net_.send(site(holder), site(target), MessageKind::kWrcControl, 1,
-            [this, target, w]() {
-      auto nit = nodes_.find(target);
-      if (nit == nodes_.end()) {
-        return;
+  net_.send(site(holder), site(target),
+            wire::WireMessage{MessageKind::kWrcControl,
+                              wire::WrcWeightReturn{target, w}});
+}
+
+void WrcEngine::on_weight_returned(ProcessId target, std::uint64_t w) {
+  auto nit = nodes_.find(target);
+  if (nit == nodes_.end()) {
+    return;
+  }
+  CGC_CHECK(nit->second.loaned >= w);
+  nit->second.loaned -= w;
+  if (nit->second.loaned == 0 && !nit->second.root) {
+    // All weight returned: provably unreachable (acyclically).
+    // Recursively drop the references the dead object held.
+    std::vector<std::pair<ProcessId, ProcessId>> held;
+    for (const auto& [key, weight] : ref_weight_) {
+      (void)weight;
+      if (key.first == target) {
+        held.push_back(key);
       }
-      CGC_CHECK(nit->second.loaned >= w);
-      nit->second.loaned -= w;
-      if (nit->second.loaned == 0 && !nit->second.root) {
-        // All weight returned: provably unreachable (acyclically).
-        // Recursively drop the references the dead object held.
-        std::vector<std::pair<ProcessId, ProcessId>> held;
-        for (const auto& [key, weight] : ref_weight_) {
-          (void)weight;
-          if (key.first == target) {
-            held.push_back(key);
-          }
-        }
-        removed_.insert(target);
-        nodes_.erase(nit);
-        for (const auto& [h, t] : held) {
-          return_weight(h, t);
-        }
-      }
-    });
+    }
+    removed_.insert(target);
+    nodes_.erase(nit);
+    for (const auto& [h, t] : held) {
+      return_weight(h, t);
+    }
+  }
 }
 
 }  // namespace cgc

@@ -20,13 +20,19 @@
 
 #include "common/types.hpp"
 #include "net/network.hpp"
+#include "wire/mailbox.hpp"
 #include "workload/ops.hpp"
 
 namespace cgc {
 
-class WrcEngine {
+class WrcEngine : public wire::Mailbox {
  public:
   explicit WrcEngine(Network& net) : net_(net) {}
+
+  /// Wire endpoint: weight returns are applied at the target's home site;
+  /// mutator reference passes carry their weight with the payload and
+  /// need no handling (splits are sender-local — WRC's selling point).
+  void deliver(SiteId from, SiteId to, const wire::WireMessage& msg) override;
 
   void apply(const MutatorOp& op);
 
@@ -45,8 +51,11 @@ class WrcEngine {
 
   void grant(ProcessId holder, ProcessId target, std::uint64_t weight);
   void return_weight(ProcessId holder, ProcessId target);
+  void on_weight_returned(ProcessId target, std::uint64_t weight);
 
   [[nodiscard]] SiteId site(ProcessId id) const { return SiteId{id.value()}; }
+  /// Registers this engine as the mailbox of `id`'s site.
+  void attach(ProcessId id) { net_.register_mailbox(site(id), *this); }
 
   Network& net_;
   std::map<ProcessId, Node> nodes_;

@@ -1,5 +1,8 @@
 #include "ggd/engine.hpp"
 
+#include <utility>
+#include <variant>
+
 namespace cgc {
 
 GgdProcess& GgdEngine::add_process(ProcessId id, SiteId site, bool is_root) {
@@ -8,7 +11,14 @@ GgdProcess& GgdEngine::add_process(ProcessId id, SiteId site, bool is_root) {
   CGC_CHECK(inserted);
   site_of_[id] = site;
   root_flag_[id] = is_root;
+  attach_site(site);
   return it->second;
+}
+
+void GgdEngine::attach_site(SiteId site) {
+  if (!net_.has_mailbox(site)) {
+    net_.register_mailbox(site, *this);
+  }
 }
 
 GgdProcess& GgdEngine::process(ProcessId id) {
@@ -29,6 +39,16 @@ SiteId GgdEngine::site_of(ProcessId id) const {
   return it->second;
 }
 
+void GgdEngine::send_ref_transfer(SiteId from, SiteId to, ProcessId recipient,
+                                  ProcessId subject) {
+  wire::RefTransfer transfer;
+  transfer.transfer_id = ++transfer_counter_;
+  transfer.recipient = recipient;
+  transfer.subject = subject;
+  net_.send(from, to,
+            wire::WireMessage{MessageKind::kReferencePass, transfer});
+}
+
 void GgdEngine::create_object(ProcessId creator, ProcessId newborn,
                               SiteId site, bool is_root) {
   add_process(newborn, site, is_root);
@@ -37,47 +57,27 @@ void GgdEngine::create_object(ProcessId creator, ProcessId newborn,
   // e2,1 for "root 1 creates object 2".
   logkeeping_.on_send_own_ref(process(newborn), creator);
   // The reference travels back to the creator as a normal mutator message.
-  const std::uint64_t tid = ++transfer_counter_;
-  net_.send(site, site_of(creator), MessageKind::kReferencePass, 1,
-            [this, creator, newborn, tid]() {
-              if (!applied_transfers_.insert(tid).second) {
-                return;  // duplicated delivery: the transfer applied once
-              }
-              logkeeping_.on_receive_ref(process(creator), newborn);
-              if (on_ref_delivered_) {
-                on_ref_delivered_(creator, newborn);
-              }
-            });
+  send_ref_transfer(site, site_of(creator), creator, newborn);
 }
 
 void GgdEngine::send_own_ref(ProcessId i, ProcessId j) {
   logkeeping_.on_send_own_ref(process(i), j);
-  const std::uint64_t tid = ++transfer_counter_;
-  net_.send(site_of(i), site_of(j), MessageKind::kReferencePass, 1,
-            [this, i, j, tid]() {
-    if (!applied_transfers_.insert(tid).second) {
-      return;
-    }
-    logkeeping_.on_receive_ref(process(j), i);
-    if (on_ref_delivered_) {
-      on_ref_delivered_(j, i);
-    }
-  });
+  send_ref_transfer(site_of(i), site_of(j), j, i);
 }
 
 void GgdEngine::send_third_party_ref(ProcessId i, ProcessId k, ProcessId j) {
   logkeeping_.on_send_third_party_ref(process(i), k, j);
-  const std::uint64_t tid = ++transfer_counter_;
-  net_.send(site_of(i), site_of(j), MessageKind::kReferencePass, 1,
-            [this, j, k, tid]() {
-    if (!applied_transfers_.insert(tid).second) {
-      return;
-    }
-    logkeeping_.on_receive_ref(process(j), k);
-    if (on_ref_delivered_) {
-      on_ref_delivered_(j, k);
-    }
-  });
+  send_ref_transfer(site_of(i), site_of(j), j, k);
+}
+
+void GgdEngine::on_ref_transfer(const wire::RefTransfer& transfer) {
+  if (!applied_transfers_.insert(transfer.transfer_id).second) {
+    return;  // duplicated delivery: the transfer applied once
+  }
+  logkeeping_.on_receive_ref(process(transfer.recipient), transfer.subject);
+  if (on_ref_delivered_) {
+    on_ref_delivered_(transfer.recipient, transfer.subject);
+  }
 }
 
 void GgdEngine::local_acquire(ProcessId j, ProcessId k) {
@@ -102,6 +102,18 @@ void GgdEngine::drop_ref(ProcessId j, ProcessId k) {
   deliver_ggd(std::move(msg));
 }
 
+void GgdEngine::deliver(SiteId from, SiteId to, const wire::WireMessage& msg) {
+  (void)from;
+  (void)to;
+  if (const auto* transfer = std::get_if<wire::RefTransfer>(&msg.body)) {
+    on_ref_transfer(*transfer);
+  } else if (const auto* control = std::get_if<wire::GgdControl>(&msg.body)) {
+    on_ggd_message(control->msg);
+  } else {
+    CGC_CHECK_MSG(false, "unexpected wire body at a GGD site");
+  }
+}
+
 void GgdEngine::deliver_ggd(GgdMessage msg) {
   const MessageKind kind =
       (msg.inquiry || msg.reply) ? MessageKind::kGgdInquiry
@@ -109,40 +121,42 @@ void GgdEngine::deliver_ggd(GgdMessage msg) {
                                  : MessageKind::kGgdVector;
   const SiteId from = site_of(msg.from);
   const SiteId to = site_of(msg.to);
-  net_.send(from, to, kind, msg.size_units(), [this, msg = std::move(msg)]() {
-    GgdProcess& target = process(msg.to);
-    if (msg.inquiry) {
-      // The hosting site answers inquiries; a collected target is answered
-      // posthumously with its death certificate.
-      ++participating_sites_[site_of(msg.to)];
-      if (target.removed()) {
-        GgdMessage certificate;
-        certificate.from = msg.to;
-        certificate.to = msg.from;
-        certificate.dead.insert(msg.to);
-        certificate.reply = true;
-        deliver_ggd(std::move(certificate));
-      } else {
-        deliver_ggd(target.make_reply(msg.from));
-      }
-      return;
-    }
-    if (target.removed()) {
-      return;
-    }
+  net_.send(from, to, wire::WireMessage{kind, wire::GgdControl{std::move(msg)}});
+}
+
+void GgdEngine::on_ggd_message(const GgdMessage& msg) {
+  GgdProcess& target = process(msg.to);
+  if (msg.inquiry) {
+    // The hosting site answers inquiries; a collected target is answered
+    // posthumously with its death certificate.
     ++participating_sites_[site_of(msg.to)];
-    const bool was_removed = target.removed();
-    std::vector<GgdMessage> out = target.receive(
-        msg, [this](ProcessId p) { return root_flag_.at(p); });
-    if (!was_removed && target.removed()) {
-      removed_.push_back(msg.to);
-      if (on_removed_) {
-        on_removed_(msg.to);
-      }
+    if (target.removed()) {
+      GgdMessage certificate;
+      certificate.from = msg.to;
+      certificate.to = msg.from;
+      certificate.dead.insert(msg.to);
+      certificate.reply = true;
+      deliver_ggd(std::move(certificate));
+    } else {
+      deliver_ggd(target.make_reply(msg.from));
     }
-    dispatch_all(std::move(out));
-    schedule_flush(msg.to);
-  });
+    return;
+  }
+  if (target.removed()) {
+    return;
+  }
+  ++participating_sites_[site_of(msg.to)];
+  const bool was_removed = target.removed();
+  std::vector<GgdMessage> out = target.receive(
+      msg, [this](ProcessId p) { return root_flag_.at(p); });
+  if (!was_removed && target.removed()) {
+    removed_.push_back(msg.to);
+    if (on_removed_) {
+      on_removed_(msg.to);
+    }
+  }
+  dispatch_all(std::move(out));
+  schedule_flush(msg.to);
 }
 
 void GgdEngine::dispatch_all(std::vector<GgdMessage> msgs) {

@@ -7,9 +7,12 @@
 // worked-example test use it directly.
 //
 // Mutator-level operations simulate both the real reference-carrying
-// message (MessageKind::kReferencePass, subject to network faults) and the
-// lazy log-keeping updates at each endpoint. GGD control messages produced
-// by `GgdProcess::receive` are forwarded through the same faulty network.
+// message (a serialized wire::RefTransfer, subject to network faults) and
+// the lazy log-keeping updates at each endpoint. GGD control messages
+// produced by `GgdProcess::receive` travel as serialized wire::GgdControl
+// bodies through the same faulty network; the engine is the mailbox of
+// every site it hosts processes on (composite systems register their own
+// demultiplexing mailbox first and forward GGD bodies here).
 #pragma once
 
 #include <cstdint>
@@ -23,10 +26,11 @@
 #include "ggd/process.hpp"
 #include "logkeeping/lazy_logkeeping.hpp"
 #include "net/network.hpp"
+#include "wire/mailbox.hpp"
 
 namespace cgc {
 
-class GgdEngine {
+class GgdEngine : public wire::Mailbox {
  public:
   GgdEngine(Network& net, LogKeepingMode mode = LogKeepingMode::kRobust)
       : net_(net), logkeeping_(mode) {}
@@ -118,10 +122,21 @@ class GgdEngine {
     return logkeeping_;
   }
 
+  /// Wire endpoint: reference transfers and GGD control traffic addressed
+  /// to any site this engine hosts processes on.
+  void deliver(SiteId from, SiteId to, const wire::WireMessage& msg) override;
+
  private:
   void deliver_ggd(GgdMessage msg);
   void dispatch_all(std::vector<GgdMessage> msgs);
   void schedule_flush(ProcessId p);
+  /// Registers this engine as `site`'s mailbox unless a composite system
+  /// (e.g. the distributed runtime) already installed its own.
+  void attach_site(SiteId site);
+  void send_ref_transfer(SiteId from, SiteId to, ProcessId recipient,
+                         ProcessId subject);
+  void on_ref_transfer(const wire::RefTransfer& transfer);
+  void on_ggd_message(const GgdMessage& msg);
 
   Network& net_;
   LazyLogKeeping logkeeping_;

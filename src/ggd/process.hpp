@@ -86,15 +86,7 @@ struct GgdMessage {
     return v.get(from).destroyed();
   }
 
-  /// Abstract wire size (for message accounting).
-  [[nodiscard]] std::size_t size_units() const {
-    std::size_t n = v.size() + self_row.size() + behalf.size() + dead.size();
-    for (const auto& [q, row] : rows) {
-      (void)q;
-      n += 1 + row.size();
-    }
-    return n;
-  }
+  [[nodiscard]] bool operator==(const GgdMessage&) const = default;
 };
 
 class GgdProcess {

@@ -1,5 +1,7 @@
 // Per-kind message accounting (sent / delivered / dropped / duplicated /
-// bytes). The quantities the paper's scalability claims are stated in.
+// encoded bytes) plus packet-level wire accounting. The quantities the
+// paper's scalability claims are stated in — `bytes_sent` is the exact
+// framed size produced by the wire codec, not a size hint.
 #pragma once
 
 #include <array>
@@ -16,21 +18,41 @@ class MessageStats {
     std::uint64_t delivered = 0;
     std::uint64_t dropped = 0;
     std::uint64_t duplicated = 0;
-    std::uint64_t units_sent = 0;  // size hints, abstract payload units
+    std::uint64_t bytes_sent = 0;  // exact framed wire bytes
   };
 
-  void on_send(MessageKind k, std::size_t size_hint) {
+  /// Packet-level counters: a packet is one transport unit (one or more
+  /// coalesced messages plus the packet header).
+  struct PacketCounters {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t bytes_sent = 0;  // headers included
+  };
+
+  void on_send(MessageKind k, std::size_t bytes) {
     auto& c = at(k);
     ++c.sent;
-    c.units_sent += size_hint;
+    c.bytes_sent += bytes;
   }
   void on_drop(MessageKind k) { ++at(k).dropped; }
   void on_duplicate(MessageKind k) { ++at(k).duplicated; }
   void on_deliver(MessageKind k) { ++at(k).delivered; }
 
+  void on_packet_send(std::size_t bytes) {
+    ++packets_.sent;
+    packets_.bytes_sent += bytes;
+  }
+  void on_packet_drop() { ++packets_.dropped; }
+  void on_packet_duplicate() { ++packets_.duplicated; }
+  void on_packet_deliver() { ++packets_.delivered; }
+
   [[nodiscard]] const Counters& of(MessageKind k) const {
     return counters_[static_cast<std::size_t>(k)];
   }
+
+  [[nodiscard]] const PacketCounters& packets() const { return packets_; }
 
   /// Total control-plane (GGD / log-keeping) messages sent.
   [[nodiscard]] std::uint64_t control_sent() const {
@@ -51,17 +73,28 @@ class MessageStats {
     return n;
   }
 
-  [[nodiscard]] std::uint64_t control_units_sent() const {
+  [[nodiscard]] std::uint64_t control_bytes_sent() const {
     std::uint64_t n = 0;
     for (std::size_t i = 0; i < counters_.size(); ++i) {
       if (is_control(static_cast<MessageKind>(i))) {
-        n += counters_[i].units_sent;
+        n += counters_[i].bytes_sent;
       }
     }
     return n;
   }
 
-  void reset() { counters_ = {}; }
+  [[nodiscard]] std::uint64_t total_bytes_sent() const {
+    std::uint64_t n = 0;
+    for (const auto& c : counters_) {
+      n += c.bytes_sent;
+    }
+    return n;
+  }
+
+  void reset() {
+    counters_ = {};
+    packets_ = {};
+  }
 
  private:
   Counters& at(MessageKind k) {
@@ -70,6 +103,7 @@ class MessageStats {
 
   std::array<Counters, static_cast<std::size_t>(MessageKind::kCount)>
       counters_{};
+  PacketCounters packets_{};
 };
 
 }  // namespace cgc

@@ -6,68 +6,103 @@
 // which every inter-site byte travels, so it is also where faults are
 // injected and traffic is accounted.
 //
-// Messages are delivered as closures: the simulation replaces a wire format
-// (DESIGN.md §5 substitution — preserves asynchrony, loss, duplication and
-// reordering, which are the behaviours the paper's robustness claims are
-// about). Payload sizes are accounted via an explicit size hint.
+// All traffic is real bytes: a send encodes a typed `wire::WireMessage`
+// through the wire codec into a per-(src,dst) `BatchingChannel`; the
+// channel's flush puts one self-describing packet on the wire; loss,
+// duplication and latency act on packets; delivery decodes the packet and
+// dispatches each message to the destination site's registered mailbox.
+// Per-kind message counts and encoded byte counts are exact, and an
+// attached `WireTrace` captures the packet sequence for replay.
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <map>
 #include <utility>
 
+#include "common/assert.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "metrics/message_stats.hpp"
 #include "net/message.hpp"
 #include "sim/simulator.hpp"
+#include "wire/batching.hpp"
+#include "wire/mailbox.hpp"
+#include "wire/messages.hpp"
+#include "wire/trace.hpp"
 
 namespace cgc {
 
 struct NetworkConfig {
   SimTime min_latency = 1;
   SimTime max_latency = 5;
-  double drop_rate = 0.0;       // probability a message is silently lost
-  double duplicate_rate = 0.0;  // probability a message is delivered twice
+  double drop_rate = 0.0;       // probability a packet is silently lost
+  double duplicate_rate = 0.0;  // probability a packet is delivered twice
   std::uint64_t seed = 42;
+  /// Same-tick messages to one destination coalesce into one packet by
+  /// default; kImmediate gives every message its own packet (the
+  /// unbatched baseline the batching benches compare against).
+  wire::FlushPolicy flush = wire::FlushPolicy::kPerTick;
 };
 
 class Network {
  public:
-  using Handler = std::function<void()>;
-
   Network(Simulator& sim, NetworkConfig config)
       : sim_(sim), config_(config), rng_(config.seed) {}
 
-  /// Sends a message from `from` to `to`; `deliver` runs at the receiver
-  /// when (and if) the message arrives. `size_hint` approximates the
-  /// payload size in abstract units (e.g. number of vector entries).
-  void send(SiteId from, SiteId to, MessageKind kind, std::size_t size_hint,
-            Handler deliver) {
-    stats_.on_send(kind, size_hint);
-    if (rng_.chance(config_.drop_rate)) {
-      stats_.on_drop(kind);
-      return;
-    }
-    const int copies = rng_.chance(config_.duplicate_rate) ? 2 : 1;
-    for (int c = 0; c < copies; ++c) {
-      if (c > 0) {
-        stats_.on_duplicate(kind);
-      }
-      const SimTime latency =
-          config_.min_latency +
-          rng_.below(config_.max_latency - config_.min_latency + 1);
-      // `deliver` is shared between copies only when duplicated; handlers
-      // must therefore be idempotent-friendly (the algorithms under test
-      // claim to be — that claim is exercised, not assumed).
-      auto fn = deliver;
-      sim_.schedule_in(latency, [this, kind, fn = std::move(fn)]() {
-        stats_.on_deliver(kind);
-        fn();
+  /// Registers the endpoint that receives traffic addressed to `site`.
+  /// Idempotent for the same mailbox; a site never has two endpoints.
+  void register_mailbox(SiteId site, wire::Mailbox& mailbox) {
+    auto [it, inserted] = mailboxes_.emplace(site, &mailbox);
+    CGC_CHECK_MSG(inserted || it->second == &mailbox,
+                  "site already has a different mailbox");
+  }
+
+  [[nodiscard]] bool has_mailbox(SiteId site) const {
+    return mailboxes_.contains(site);
+  }
+
+  /// Sends a typed message from `from` to `to`: encodes it into the
+  /// channel's pending batch and accounts its exact framed byte size.
+  void send(SiteId from, SiteId to, const wire::WireMessage& msg) {
+    wire::BatchingChannel& ch = channel(from, to);
+    const std::size_t bytes = ch.push(msg);
+    stats_.on_send(msg.kind, bytes);
+    if (config_.flush == wire::FlushPolicy::kImmediate) {
+      transmit(ch);
+    } else if (!ch.flush_scheduled) {
+      // End-of-tick flush: runs after every event already queued for the
+      // current instant, so the whole tick's burst shares one packet.
+      ch.flush_scheduled = true;
+      sim_.schedule_in(0, [this, from, to]() {
+        wire::BatchingChannel& c = channel(from, to);
+        c.flush_scheduled = false;
+        if (!c.empty()) {
+          transmit(c);
+        }
       });
     }
-    (void)from;
-    (void)to;
+  }
+
+  /// Decodes a framed packet and synchronously dispatches its messages to
+  /// the destination mailbox. The normal delivery path lands here after
+  /// the latency delay; trace replay calls it directly.
+  void deliver_packet(const std::vector<std::uint8_t>& bytes) {
+    wire::Decoder dec(bytes);
+    const SiteId from = dec.site_id();
+    const SiteId to = dec.site_id();
+    const std::uint64_t count = dec.varint();
+    CGC_CHECK_MSG(dec.ok(), "malformed packet header");
+    auto it = mailboxes_.find(to);
+    CGC_CHECK_MSG(it != mailboxes_.end(),
+                  "no mailbox registered for destination site");
+    stats_.on_packet_deliver();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::optional<wire::WireMessage> msg = wire::decode_message(dec);
+      CGC_CHECK_MSG(msg.has_value(), "malformed message in packet");
+      stats_.on_deliver(msg->kind);
+      it->second->deliver(from, to, *msg);
+    }
+    CGC_CHECK_MSG(dec.done(), "trailing bytes after last message");
   }
 
   [[nodiscard]] const MessageStats& stats() const { return stats_; }
@@ -80,13 +115,78 @@ class Network {
   void set_drop_rate(double p) { config_.drop_rate = p; }
   void set_duplicate_rate(double p) { config_.duplicate_rate = p; }
 
+  /// Attaches (or detaches, with nullptr) a packet-trace recorder.
+  void set_trace(wire::WireTrace* trace) { trace_ = trace; }
+
   [[nodiscard]] Simulator& simulator() { return sim_; }
 
  private:
+  wire::BatchingChannel& channel(SiteId from, SiteId to) {
+    auto it = channels_.find({from, to});
+    if (it == channels_.end()) {
+      it = channels_
+               .emplace(std::make_pair(from, to),
+                        wire::BatchingChannel(from, to))
+               .first;
+    }
+    return it->second;
+  }
+
+  /// Puts the channel's pending batch on the wire as one packet: fault
+  /// decisions and latency are per packet, so coalesced messages share
+  /// their transport fate exactly like bytes in a real datagram.
+  void transmit(wire::BatchingChannel& ch) {
+    wire::BatchingChannel::Packet packet = ch.flush();
+    stats_.on_packet_send(packet.bytes.size());
+    wire::PacketRecord record;
+    if (trace_ != nullptr) {
+      record.sent_at = sim_.now();
+      record.from = ch.from();
+      record.to = ch.to();
+      record.bytes = packet.bytes;
+    }
+    if (rng_.chance(config_.drop_rate)) {
+      stats_.on_packet_drop();
+      for (MessageKind k : packet.kinds) {
+        stats_.on_drop(k);
+      }
+      if (trace_ != nullptr) {
+        record.dropped = true;
+        trace_->record(std::move(record));
+      }
+      return;
+    }
+    const int copies = rng_.chance(config_.duplicate_rate) ? 2 : 1;
+    for (int c = 0; c < copies; ++c) {
+      if (c > 0) {
+        stats_.on_packet_duplicate();
+        for (MessageKind k : packet.kinds) {
+          stats_.on_duplicate(k);
+        }
+      }
+      const SimTime latency =
+          config_.min_latency +
+          rng_.below(config_.max_latency - config_.min_latency + 1);
+      if (trace_ != nullptr) {
+        record.delivered_at.push_back(sim_.now() + latency);
+      }
+      auto bytes = packet.bytes;
+      sim_.schedule_in(latency, [this, bytes = std::move(bytes)]() {
+        deliver_packet(bytes);
+      });
+    }
+    if (trace_ != nullptr) {
+      trace_->record(std::move(record));
+    }
+  }
+
   Simulator& sim_;
   NetworkConfig config_;
   Rng rng_;
   MessageStats stats_;
+  std::map<SiteId, wire::Mailbox*> mailboxes_;
+  std::map<std::pair<SiteId, SiteId>, wire::BatchingChannel> channels_;
+  wire::WireTrace* trace_ = nullptr;
 };
 
 }  // namespace cgc

@@ -1,6 +1,7 @@
 #include "runtime/runtime.hpp"
 
 #include <utility>
+#include <variant>
 
 namespace cgc {
 
@@ -8,7 +9,32 @@ SiteId DistributedRuntime::add_site() {
   const SiteId id{++next_site_};
   sites_.emplace(id, Site(id));
   edges_[id];
+  // The runtime demultiplexes each site's traffic: registering before the
+  // engine ever sees the site means the engine's own mailbox never wins.
+  net_.register_mailbox(id, *this);
   return id;
+}
+
+void DistributedRuntime::deliver(SiteId from, SiteId to,
+                                 const wire::WireMessage& msg) {
+  const auto* transfer = std::get_if<wire::ObjectRefTransfer>(&msg.body);
+  if (transfer == nullptr) {
+    engine_.deliver(from, to, msg);  // GGD control / process-level traffic
+    return;
+  }
+  if (!applied_transfers_.insert(transfer->transfer_id).second) {
+    return;  // duplicated packet: object slots are a multiset, so a
+             // replayed transfer would leak a phantom reference
+  }
+  Site& b = site(to);
+  if (!b.has_object(transfer->recipient)) {
+    return;  // recipient was collected while the message flew
+  }
+  if (owner_of(transfer->target) != to && !b.has_proxy(transfer->target)) {
+    b.add_proxy(transfer->target);
+  }
+  b.object(transfer->recipient).add_ref(transfer->target);
+  refresh_edges(to);
 }
 
 ObjectId DistributedRuntime::create_root_object(SiteId site_id) {
@@ -73,18 +99,10 @@ void DistributedRuntime::send_ref(ObjectId sender, ObjectId recipient,
   if (owner_of(target) == from_site) {
     ensure_exported(target);
   }
-  net_.send(from_site, to_site, MessageKind::kReferencePass, 1,
-            [this, recipient, target, to_site]() {
-              Site& b = site(to_site);
-              if (!b.has_object(recipient)) {
-                return;  // recipient was collected while the message flew
-              }
-              if (owner_of(target) != to_site && !b.has_proxy(target)) {
-                b.add_proxy(target);
-              }
-              b.object(recipient).add_ref(target);
-              refresh_edges(to_site);
-            });
+  net_.send(from_site, to_site,
+            wire::WireMessage{
+                MessageKind::kReferencePass,
+                wire::ObjectRefTransfer{++next_transfer_, recipient, target}});
 }
 
 ProcessId DistributedRuntime::ensure_exported(ObjectId target) {

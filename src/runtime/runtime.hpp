@@ -26,16 +26,21 @@
 #include "net/network.hpp"
 #include "runtime/site.hpp"
 #include "sim/simulator.hpp"
+#include "wire/mailbox.hpp"
 
 namespace cgc {
 
-class DistributedRuntime {
+class DistributedRuntime : public wire::Mailbox {
  public:
   explicit DistributedRuntime(NetworkConfig net_config = {},
                               LogKeepingMode mode = LogKeepingMode::kRobust)
       : net_(sim_, net_config), engine_(net_, mode) {
     engine_.set_on_removed([this](ProcessId p) { on_global_root_removed(p); });
   }
+
+  /// Wire endpoint for every site of this runtime: object-level reference
+  /// transfers are handled here; GGD traffic is forwarded to the engine.
+  void deliver(SiteId from, SiteId to, const wire::WireMessage& msg) override;
 
   // -- Topology -----------------------------------------------------------
 
@@ -129,6 +134,10 @@ class DistributedRuntime {
   std::uint64_t next_object_ = 0;
   std::uint64_t next_site_ = 0;
   std::uint64_t next_process_ = 0;
+  /// Object-level reference transfers apply exactly once even when the
+  /// carrying packet is duplicated.
+  std::uint64_t next_transfer_ = 0;
+  std::set<std::uint64_t> applied_transfers_;
 };
 
 }  // namespace cgc

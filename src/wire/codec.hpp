@@ -1,0 +1,260 @@
+// Compact binary codec for the wire protocol.
+//
+// Every inter-site byte of the system is produced by an `Encoder` and
+// consumed by a `Decoder`, so the traffic numbers reported by the benches
+// are grounded in a real encoding rather than abstract size hints:
+//   * unsigned integers are LEB128 varints (7 bits per byte, low first),
+//   * timestamps pack the destruction marker into the varint's low bit,
+//   * dependency vectors are delta-encoded: process ids are strictly
+//     increasing, so each id after the first is stored as its (small)
+//     difference from the previous one.
+//
+// The decoder is total: it never reads past the end of the buffer and
+// never aborts on malformed input. Any underflow or non-canonical input
+// trips the `ok()` flag, and all subsequent reads return zero values, so
+// callers check once at the end (truncated-buffer rejection is tested).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+#include "vclock/dependency_vector.hpp"
+
+namespace cgc::wire {
+
+class Encoder {
+ public:
+  explicit Encoder(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+
+  /// LEB128: 7 payload bits per byte, continuation in the high bit.
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      out_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void boolean(bool b) { u8(b ? 1 : 0); }
+
+  /// Destruction marker in the low bit, event index above it. Indexes are
+  /// per-edge event counters, so the 63-bit ceiling is unreachable.
+  void timestamp(Timestamp ts) {
+    CGC_CHECK(ts.index() < (std::uint64_t{1} << 63));
+    varint((ts.index() << 1) | (ts.destroyed() ? 1 : 0));
+  }
+
+  void process_id(ProcessId p) { varint(p.value()); }
+  void site_id(SiteId s) { varint(s.value()); }
+  void object_id(ObjectId o) { varint(o.value()); }
+
+  /// Count, then entries in increasing process-id order: the first id raw,
+  /// every next one as a positive delta from its predecessor.
+  void dependency_vector(const DependencyVector& dv) {
+    varint(dv.size());
+    std::uint64_t prev = 0;
+    bool first = true;
+    for (const auto& [p, ts] : dv.entries()) {
+      varint(first ? p.value() : p.value() - prev);
+      prev = p.value();
+      first = false;
+      timestamp(ts);
+    }
+  }
+
+  /// Same delta scheme for sorted id sets.
+  void process_set(const std::set<ProcessId>& s) {
+    varint(s.size());
+    std::uint64_t prev = 0;
+    bool first = true;
+    for (ProcessId p : s) {
+      varint(first ? p.value() : p.value() - prev);
+      prev = p.value();
+      first = false;
+    }
+  }
+
+  /// Unsorted id sequences (e.g. a DFS path) are stored verbatim.
+  void process_seq(const std::vector<ProcessId>& v) {
+    varint(v.size());
+    for (ProcessId p : v) {
+      process_id(p);
+    }
+  }
+
+  void row_map(const std::map<ProcessId, DependencyVector>& rows) {
+    varint(rows.size());
+    std::uint64_t prev = 0;
+    bool first = true;
+    for (const auto& [p, row] : rows) {
+      varint(first ? p.value() : p.value() - prev);
+      prev = p.value();
+      first = false;
+      dependency_vector(row);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return out_.size(); }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+class Decoder {
+ public:
+  Decoder(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit Decoder(const std::vector<std::uint8_t>& buf)
+      : Decoder(buf.data(), buf.size()) {}
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  /// True when the whole buffer has been consumed (and nothing failed).
+  [[nodiscard]] bool done() const { return ok_ && pos_ == size_; }
+  [[nodiscard]] std::size_t consumed() const { return pos_; }
+
+  std::uint8_t u8() {
+    if (pos_ >= size_) {
+      return fail();
+    }
+    return data_[pos_++];
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (pos_ >= size_) {
+        return fail();
+      }
+      const std::uint8_t b = data_[pos_++];
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) {
+        // Reject non-canonical encodings: an over-long form (final byte
+        // contributing no bits) or a tenth byte shifting bits past 64.
+        if (shift > 0 && b == 0) {
+          return fail();
+        }
+        if (shift == 63 && (b >> 1) != 0) {
+          return fail();
+        }
+        return v;
+      }
+    }
+    return fail();  // more than 10 bytes: not a valid 64-bit varint
+  }
+
+  /// Advances past `n` raw bytes (length-prefixed payloads).
+  void skip(std::size_t n) {
+    if (n > size_ - pos_) {
+      fail();
+      return;
+    }
+    pos_ += n;
+  }
+
+  bool boolean() {
+    const std::uint8_t b = u8();
+    if (b > 1) {
+      return fail() != 0;
+    }
+    return b == 1;
+  }
+
+  Timestamp timestamp() {
+    const std::uint64_t raw = varint();
+    const std::uint64_t index = raw >> 1;
+    return (raw & 1) ? Timestamp::destruction(index)
+                     : Timestamp::creation(index);
+  }
+
+  ProcessId process_id() { return ProcessId{varint()}; }
+  SiteId site_id() { return SiteId{varint()}; }
+  ObjectId object_id() { return ObjectId{varint()}; }
+
+  DependencyVector dependency_vector() {
+    DependencyVector dv;
+    const std::uint64_t n = varint();
+    std::uint64_t prev = 0;
+    for (std::uint64_t i = 0; ok_ && i < n; ++i) {
+      const std::uint64_t delta = varint();
+      if (i > 0 && delta == 0) {
+        fail();  // ids must be strictly increasing: one canonical encoding
+        break;
+      }
+      prev = (i == 0) ? delta : prev + delta;
+      const Timestamp ts = timestamp();
+      if (ts == Timestamp{}) {
+        fail();  // zero entries are never stored, so never encoded
+        break;
+      }
+      dv.set(ProcessId{prev}, ts);
+    }
+    return ok_ ? dv : DependencyVector{};
+  }
+
+  std::set<ProcessId> process_set() {
+    std::set<ProcessId> s;
+    const std::uint64_t n = varint();
+    std::uint64_t prev = 0;
+    for (std::uint64_t i = 0; ok_ && i < n; ++i) {
+      const std::uint64_t delta = varint();
+      if (i > 0 && delta == 0) {
+        fail();
+        break;
+      }
+      prev = (i == 0) ? delta : prev + delta;
+      s.insert(ProcessId{prev});
+    }
+    return ok_ ? s : std::set<ProcessId>{};
+  }
+
+  std::vector<ProcessId> process_seq() {
+    std::vector<ProcessId> v;
+    const std::uint64_t n = varint();
+    // Each element costs at least one byte: cheap guard against a huge
+    // count in a truncated buffer causing a huge allocation.
+    if (n > size_ - pos_) {
+      fail();
+      return {};
+    }
+    v.reserve(n);
+    for (std::uint64_t i = 0; ok_ && i < n; ++i) {
+      v.push_back(process_id());
+    }
+    return ok_ ? v : std::vector<ProcessId>{};
+  }
+
+  std::map<ProcessId, DependencyVector> row_map() {
+    std::map<ProcessId, DependencyVector> rows;
+    const std::uint64_t n = varint();
+    std::uint64_t prev = 0;
+    for (std::uint64_t i = 0; ok_ && i < n; ++i) {
+      const std::uint64_t delta = varint();
+      if (i > 0 && delta == 0) {
+        fail();
+        break;
+      }
+      prev = (i == 0) ? delta : prev + delta;
+      rows[ProcessId{prev}] = dependency_vector();
+    }
+    return ok_ ? rows : std::map<ProcessId, DependencyVector>{};
+  }
+
+ private:
+  std::uint64_t fail() {
+    ok_ = false;
+    return 0;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace cgc::wire

@@ -1,0 +1,27 @@
+// Per-site message endpoint.
+//
+// Every site registers exactly one mailbox with the network. The network
+// delivers *decoded* messages: transport-level concerns (loss,
+// duplication, reordering, batching, byte accounting) end at this
+// interface, and protocol-level concerns (what a message means) begin.
+// Composite systems register one demultiplexing mailbox per site and fan
+// bodies out to sub-protocols (the distributed runtime forwards GGD
+// bodies to the engine, for example).
+#pragma once
+
+#include "common/types.hpp"
+#include "wire/messages.hpp"
+
+namespace cgc::wire {
+
+class Mailbox {
+ public:
+  virtual ~Mailbox() = default;
+
+  /// Called once per decoded message, in wire order within a packet.
+  /// `to` is the site this mailbox is registered for (one object may
+  /// serve many sites).
+  virtual void deliver(SiteId from, SiteId to, const WireMessage& msg) = 0;
+};
+
+}  // namespace cgc::wire

@@ -1,0 +1,170 @@
+#include "wire/messages.hpp"
+
+namespace cgc::wire {
+namespace {
+
+constexpr std::uint8_t kInquiryBit = 1;
+constexpr std::uint8_t kReplyBit = 2;
+constexpr std::uint8_t kOutEdgesBit = 4;
+
+void encode_body(Encoder& enc, const RefTransfer& t) {
+  enc.varint(t.transfer_id);
+  enc.process_id(t.recipient);
+  enc.process_id(t.subject);
+}
+
+RefTransfer decode_ref_transfer(Decoder& dec) {
+  RefTransfer t;
+  t.transfer_id = dec.varint();
+  t.recipient = dec.process_id();
+  t.subject = dec.process_id();
+  return t;
+}
+
+void encode_body(Encoder& enc, const ObjectRefTransfer& t) {
+  enc.varint(t.transfer_id);
+  enc.object_id(t.recipient);
+  enc.object_id(t.target);
+}
+
+ObjectRefTransfer decode_object_ref_transfer(Decoder& dec) {
+  ObjectRefTransfer t;
+  t.transfer_id = dec.varint();
+  t.recipient = dec.object_id();
+  t.target = dec.object_id();
+  return t;
+}
+
+void encode_body(Encoder& enc, const GgdControl& c) {
+  const GgdMessage& m = c.msg;
+  enc.process_id(m.from);
+  enc.process_id(m.to);
+  enc.dependency_vector(m.v);
+  enc.dependency_vector(m.self_row);
+  enc.dependency_vector(m.behalf);
+  enc.row_map(m.rows);
+  enc.process_set(m.dead);
+  std::uint8_t flags = 0;
+  flags |= m.inquiry ? kInquiryBit : 0;
+  flags |= m.reply ? kReplyBit : 0;
+  flags |= m.has_out_edges ? kOutEdgesBit : 0;
+  enc.u8(flags);
+  enc.process_set(m.out_edges);
+}
+
+GgdControl decode_ggd_control(Decoder& dec) {
+  GgdControl c;
+  GgdMessage& m = c.msg;
+  m.from = dec.process_id();
+  m.to = dec.process_id();
+  m.v = dec.dependency_vector();
+  m.self_row = dec.dependency_vector();
+  m.behalf = dec.dependency_vector();
+  m.rows = dec.row_map();
+  m.dead = dec.process_set();
+  const std::uint8_t flags = dec.u8();
+  m.inquiry = (flags & kInquiryBit) != 0;
+  m.reply = (flags & kReplyBit) != 0;
+  m.has_out_edges = (flags & kOutEdgesBit) != 0;
+  m.out_edges = dec.process_set();
+  return c;
+}
+
+void encode_body(Encoder& enc, const EagerEdgeUpdate& e) {
+  enc.process_id(e.from);
+  enc.process_id(e.to);
+  enc.boolean(e.removal);
+}
+
+EagerEdgeUpdate decode_eager_edge_update(Decoder& dec) {
+  EagerEdgeUpdate e;
+  e.from = dec.process_id();
+  e.to = dec.process_id();
+  e.removal = dec.boolean();
+  return e;
+}
+
+void encode_body(Encoder& enc, const SchelvisProbe& p) {
+  enc.process_id(p.origin);
+  enc.process_seq(p.path);
+  enc.process_set(p.visited);
+}
+
+SchelvisProbe decode_schelvis_probe(Decoder& dec) {
+  SchelvisProbe p;
+  p.origin = dec.process_id();
+  p.path = dec.process_seq();
+  p.visited = dec.process_set();
+  return p;
+}
+
+void encode_body(Encoder& enc, const WrcWeightReturn& w) {
+  enc.process_id(w.target);
+  enc.varint(w.weight);
+}
+
+WrcWeightReturn decode_wrc_weight_return(Decoder& dec) {
+  WrcWeightReturn w;
+  w.target = dec.process_id();
+  w.weight = dec.varint();
+  return w;
+}
+
+void encode_body(Encoder&, const ControlPing&) {}
+
+}  // namespace
+
+void encode_message(Encoder& enc, const WireMessage& msg) {
+  enc.u8(static_cast<std::uint8_t>(msg.kind));
+  enc.u8(static_cast<std::uint8_t>(msg.body.index()));
+  std::visit([&enc](const auto& body) { encode_body(enc, body); }, msg.body);
+}
+
+std::optional<WireMessage> decode_message(Decoder& dec) {
+  WireMessage msg;
+  const std::uint8_t kind = dec.u8();
+  const std::uint8_t tag = dec.u8();
+  if (!dec.ok() || kind >= static_cast<std::uint8_t>(MessageKind::kCount) ||
+      tag >= std::variant_size_v<Body>) {
+    return std::nullopt;
+  }
+  msg.kind = static_cast<MessageKind>(kind);
+  switch (tag) {
+    case 0:
+      msg.body = decode_ref_transfer(dec);
+      break;
+    case 1:
+      msg.body = decode_object_ref_transfer(dec);
+      break;
+    case 2:
+      msg.body = decode_ggd_control(dec);
+      break;
+    case 3:
+      msg.body = decode_eager_edge_update(dec);
+      break;
+    case 4:
+      msg.body = decode_schelvis_probe(dec);
+      break;
+    case 5:
+      msg.body = decode_wrc_weight_return(dec);
+      break;
+    case 6:
+      msg.body = ControlPing{};
+      break;
+    default:
+      return std::nullopt;
+  }
+  if (!dec.ok()) {
+    return std::nullopt;
+  }
+  return msg;
+}
+
+std::size_t encoded_size(const WireMessage& msg) {
+  std::vector<std::uint8_t> buf;
+  Encoder enc(buf);
+  encode_message(enc, msg);
+  return buf.size();
+}
+
+}  // namespace cgc::wire

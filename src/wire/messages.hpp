@@ -1,0 +1,116 @@
+// Typed wire messages: one struct per payload shape the system puts on
+// the network, plus the framing that maps them to and from bytes.
+//
+// A `WireMessage` pairs a `MessageKind` (the accounting taxonomy of
+// net/message.hpp) with a typed body. The two are deliberately separate
+// axes: several kinds share a body shape (every baseline's modelled
+// mutator traffic is a `RefTransfer`), and one body shape serves several
+// kinds (`GgdControl` carries vector, destruction and inquiry traffic,
+// distinguished by its contents exactly as §3 of the paper does).
+//
+// Framing per message: kind byte, body-tag byte, body fields. The body
+// tag is the variant index, pinned by the order of `Body`'s alternatives
+// — append new shapes at the end, never reorder.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "common/types.hpp"
+#include "ggd/process.hpp"
+#include "net/message.hpp"
+#include "wire/codec.hpp"
+
+namespace cgc::wire {
+
+/// Process-granularity reference transfer (the GGD engine's mutator
+/// traffic): on delivery `recipient` gains a reference to `subject`.
+/// `transfer_id` makes application idempotent under duplication.
+struct RefTransfer {
+  std::uint64_t transfer_id = 0;
+  ProcessId recipient;
+  ProcessId subject;
+
+  [[nodiscard]] bool operator==(const RefTransfer&) const = default;
+};
+
+/// Object-granularity reference transfer (the distributed runtime's
+/// mutator traffic): `recipient` gains a reference to `target`,
+/// materialising a proxy if the target is remote. `transfer_id` makes
+/// application idempotent under duplication (object slots are a multiset,
+/// so a replayed packet would otherwise leak a phantom reference).
+struct ObjectRefTransfer {
+  std::uint64_t transfer_id = 0;
+  ObjectId recipient;
+  ObjectId target;
+
+  [[nodiscard]] bool operator==(const ObjectRefTransfer&) const = default;
+};
+
+/// GGD control traffic: the full dependency-vector message of §3
+/// (vector propagation, edge destruction, inquiry and reply).
+struct GgdControl {
+  GgdMessage msg;
+
+  [[nodiscard]] bool operator==(const GgdControl&) const = default;
+};
+
+/// Schelvis baseline: eager log-keeping edge update (§2.3) — the extra
+/// control message lazy log-keeping exists to eliminate.
+struct EagerEdgeUpdate {
+  ProcessId from;
+  ProcessId to;
+  bool removal = false;
+
+  [[nodiscard]] bool operator==(const EagerEdgeUpdate&) const = default;
+};
+
+/// Schelvis baseline: the travelling depth-first probe. The probe state
+/// itself is the wire payload — its size on the wire grows with the path,
+/// which is the O(k^2) traffic behaviour §4 compares against.
+struct SchelvisProbe {
+  ProcessId origin;
+  std::vector<ProcessId> path;
+  std::set<ProcessId> visited;
+
+  [[nodiscard]] bool operator==(const SchelvisProbe&) const = default;
+};
+
+/// WRC baseline: weight returned to the target object's home site.
+struct WrcWeightReturn {
+  ProcessId target;
+  std::uint64_t weight = 0;
+
+  [[nodiscard]] bool operator==(const WrcWeightReturn&) const = default;
+};
+
+/// Payload-free control message (tracing-baseline marks, acks and
+/// consensus round-trips: only their count matters).
+struct ControlPing {
+  [[nodiscard]] bool operator==(const ControlPing&) const = default;
+};
+
+using Body = std::variant<RefTransfer, ObjectRefTransfer, GgdControl,
+                          EagerEdgeUpdate, SchelvisProbe, WrcWeightReturn,
+                          ControlPing>;
+
+struct WireMessage {
+  MessageKind kind = MessageKind::kMutator;
+  Body body;
+
+  [[nodiscard]] bool operator==(const WireMessage&) const = default;
+};
+
+/// Appends the framed encoding of `msg` to the encoder's buffer.
+void encode_message(Encoder& enc, const WireMessage& msg);
+
+/// Decodes one framed message; nullopt on truncation or malformed input
+/// (the decoder's fail flag is set either way).
+[[nodiscard]] std::optional<WireMessage> decode_message(Decoder& dec);
+
+/// Exact framed size of `msg` in bytes.
+[[nodiscard]] std::size_t encoded_size(const WireMessage& msg);
+
+}  // namespace cgc::wire

@@ -1,0 +1,74 @@
+#include "wire/trace.hpp"
+
+namespace cgc::wire {
+
+namespace {
+// Trace container format: magic, packet count, then per packet the
+// metadata followed by the length-prefixed raw bytes.
+constexpr std::uint64_t kTraceMagic = 0x43474354;  // "CGCT"
+}  // namespace
+
+std::vector<std::uint8_t> WireTrace::serialize() const {
+  std::vector<std::uint8_t> out;
+  Encoder enc(out);
+  enc.varint(kTraceMagic);
+  enc.varint(packets_.size());
+  for (const auto& p : packets_) {
+    enc.varint(p.sent_at);
+    enc.site_id(p.from);
+    enc.site_id(p.to);
+    enc.boolean(p.dropped);
+    enc.varint(p.delivered_at.size());
+    for (SimTime t : p.delivered_at) {
+      enc.varint(t);
+    }
+    enc.varint(p.bytes.size());
+    out.insert(out.end(), p.bytes.begin(), p.bytes.end());
+  }
+  return out;
+}
+
+std::optional<WireTrace> WireTrace::deserialize(
+    const std::vector<std::uint8_t>& bytes) {
+  Decoder dec(bytes);
+  if (dec.varint() != kTraceMagic) {
+    return std::nullopt;
+  }
+  WireTrace trace;
+  const std::uint64_t count = dec.varint();
+  for (std::uint64_t i = 0; dec.ok() && i < count; ++i) {
+    PacketRecord p;
+    p.sent_at = dec.varint();
+    p.from = dec.site_id();
+    p.to = dec.site_id();
+    p.dropped = dec.boolean();
+    const std::uint64_t copies = dec.varint();
+    for (std::uint64_t c = 0; dec.ok() && c < copies; ++c) {
+      p.delivered_at.push_back(dec.varint());
+    }
+    const std::uint64_t len = dec.varint();
+    if (!dec.ok() || len > bytes.size() - dec.consumed()) {
+      return std::nullopt;
+    }
+    p.bytes.assign(bytes.begin() + static_cast<std::ptrdiff_t>(dec.consumed()),
+                   bytes.begin() +
+                       static_cast<std::ptrdiff_t>(dec.consumed() + len));
+    dec.skip(len);
+    trace.record(std::move(p));
+  }
+  if (!dec.done()) {
+    return std::nullopt;
+  }
+  return trace;
+}
+
+void WireTrace::replay(
+    const std::function<void(const std::vector<std::uint8_t>&)>& sink) const {
+  for (const auto& p : packets_) {
+    for (std::size_t c = 0; c < p.delivered_at.size(); ++c) {
+      sink(p.bytes);
+    }
+  }
+}
+
+}  // namespace cgc::wire

@@ -1,0 +1,70 @@
+// Wire-trace recording and replay.
+//
+// When attached to a network, a `WireTrace` records every transmitted
+// packet — send time, endpoints, the exact bytes, and its transport fate
+// (dropped / duplicated / latency per copy). A trace can be serialized
+// with the same codec the packets use, loaded back, and replayed against
+// a fresh set of mailboxes, re-dispatching the identical byte sequence in
+// the identical order: deterministic debugging of a recorded run without
+// re-running the workload.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+#include "wire/codec.hpp"
+
+namespace cgc::wire {
+
+struct PacketRecord {
+  SimTime sent_at = 0;
+  SiteId from;
+  SiteId to;
+  std::vector<std::uint8_t> bytes;  // full packet framing
+  bool dropped = false;
+  /// Delivery time of each transmitted copy (two entries when the packet
+  /// was duplicated; empty when dropped).
+  std::vector<SimTime> delivered_at;
+
+  [[nodiscard]] bool operator==(const PacketRecord&) const = default;
+};
+
+class WireTrace {
+ public:
+  void record(PacketRecord rec) { packets_.push_back(std::move(rec)); }
+
+  [[nodiscard]] const std::vector<PacketRecord>& packets() const {
+    return packets_;
+  }
+  [[nodiscard]] std::size_t size() const { return packets_.size(); }
+  void clear() { packets_.clear(); }
+
+  /// Total bytes the senders put on the wire: each transmitted copy
+  /// counts, and a dropped packet counts once — it was paid for even
+  /// though it never arrived.
+  [[nodiscard]] std::uint64_t wire_bytes() const {
+    std::uint64_t n = 0;
+    for (const auto& p : packets_) {
+      n += p.bytes.size() * std::max<std::size_t>(1, p.delivered_at.size());
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static std::optional<WireTrace> deserialize(
+      const std::vector<std::uint8_t>& bytes);
+
+  /// Re-dispatches every delivered packet copy, in recorded order, to
+  /// `sink` (typically Network::deliver_packet on a fresh system).
+  void replay(
+      const std::function<void(const std::vector<std::uint8_t>&)>& sink) const;
+
+ private:
+  std::vector<PacketRecord> packets_;
+};
+
+}  // namespace cgc::wire

@@ -1,5 +1,10 @@
 #include "workload/ops.hpp"
 
+#include <algorithm>
+#include <iterator>
+#include <map>
+#include <set>
+
 namespace cgc::traces {
 
 TraceBuilder doubly_linked_list(std::size_t k,
@@ -68,6 +73,42 @@ TraceBuilder live_and_garbage(std::size_t live, std::size_t garbage) {
   }
   if (garbage > 0) {
     t.drop(root, head);
+  }
+  return t;
+}
+
+TraceBuilder forward_heavy(std::size_t n, std::size_t f, Rng& rng) {
+  TraceBuilder t;
+  const ProcessId root = t.add_root();
+  std::vector<ProcessId> objs;
+  // Everything hangs off the root so every object can forward/receive.
+  for (std::size_t i = 0; i < n; ++i) {
+    objs.push_back(t.create(root));
+  }
+  // The root forwards its references around: holder gains target.
+  std::map<ProcessId, std::set<ProcessId>> held;
+  for (ProcessId o : objs) {
+    held[root].insert(o);
+  }
+  std::vector<ProcessId> holders{root};
+  for (std::size_t i = 0; i < f; ++i) {
+    const ProcessId holder = holders[rng.below(holders.size())];
+    auto& refs = held[holder];
+    if (refs.empty()) {
+      continue;
+    }
+    auto it = refs.begin();
+    std::advance(it, static_cast<long>(rng.below(refs.size())));
+    const ProcessId target = *it;
+    const ProcessId recipient = objs[rng.below(objs.size())];
+    if (recipient == target || recipient == holder) {
+      continue;
+    }
+    t.link_third(holder, target, recipient);
+    held[recipient].insert(target);
+    if (!std::count(holders.begin(), holders.end(), recipient)) {
+      holders.push_back(recipient);
+    }
   }
   return t;
 }

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "common/types.hpp"
 
 namespace cgc {
@@ -75,6 +76,11 @@ TraceBuilder ring_with_subcycles(std::size_t k,
 /// `live` objects stay reachable, `garbage` objects (a connected chain)
 /// are cut loose at the end: the live-vs-garbage complexity workload (T2).
 TraceBuilder live_and_garbage(std::size_t live, std::size_t garbage);
+
+/// A mutator phase heavy on third-party exchanges: n objects, then f
+/// forwards of random held references between random holders. No garbage
+/// is created (no drops), isolating pure log-keeping overhead (F7).
+TraceBuilder forward_heavy(std::size_t n, std::size_t f, Rng& rng);
 
 }  // namespace traces
 

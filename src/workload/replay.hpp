@@ -7,6 +7,39 @@
 
 namespace cgc {
 
+/// Replays a trace directly onto a bare engine (one site per process, no
+/// ground-truth oracle). Unlike `replay_on_scenario` this performs no
+/// holds() validation, so it can run without quiescing between operations
+/// — the configuration that leaves same-tick message bursts for the wire
+/// layer's batching to coalesce.
+inline void replay_on_engine(GgdEngine& e, const std::vector<MutatorOp>& ops,
+                             bool quiesce_between = false) {
+  Simulator& sim = e.network().simulator();
+  for (const MutatorOp& op : ops) {
+    switch (op.kind) {
+      case MutatorOp::Kind::kAddRoot:
+        e.add_process(op.a, SiteId{op.a.value()}, /*is_root=*/true);
+        break;
+      case MutatorOp::Kind::kCreate:
+        e.create_object(op.b, op.a, SiteId{op.a.value()});
+        break;
+      case MutatorOp::Kind::kLinkOwn:
+        e.send_own_ref(op.a, op.b);
+        break;
+      case MutatorOp::Kind::kLinkThird:
+        e.send_third_party_ref(op.a, op.c, op.b);
+        break;
+      case MutatorOp::Kind::kDrop:
+        e.drop_ref(op.a, op.b);
+        break;
+    }
+    if (quiesce_between) {
+      sim.run();
+    }
+  }
+  sim.run();
+}
+
 inline void replay_on_scenario(Scenario& s, const std::vector<MutatorOp>& ops,
                                bool quiesce_between = true) {
   for (const MutatorOp& op : ops) {

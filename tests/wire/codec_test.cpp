@@ -1,0 +1,248 @@
+// Wire-codec property tests: round-trip identity over seeded-random
+// values for every primitive and every message body, and rejection of
+// every truncated buffer.
+#include "wire/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "wire/messages.hpp"
+
+namespace cgc {
+namespace {
+
+ProcessId P(std::uint64_t v) { return ProcessId{v}; }
+
+DependencyVector random_dv(Rng& rng, std::size_t max_entries = 12) {
+  DependencyVector dv;
+  const std::size_t n = rng.below(max_entries + 1);
+  std::uint64_t pid = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    pid += 1 + rng.below(1000);  // strictly increasing, occasionally sparse
+    const std::uint64_t index = 1 + rng.below(1 << 20);
+    dv.set(P(pid), rng.chance(0.3) ? Timestamp::destruction(index)
+                                   : Timestamp::creation(index));
+  }
+  return dv;
+}
+
+std::set<ProcessId> random_set(Rng& rng, std::size_t max_entries = 8) {
+  std::set<ProcessId> s;
+  const std::size_t n = rng.below(max_entries + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.insert(P(rng.below(1 << 16)));
+  }
+  return s;
+}
+
+GgdMessage random_ggd_message(Rng& rng) {
+  GgdMessage m;
+  m.from = P(1 + rng.below(100));
+  m.to = P(1 + rng.below(100));
+  m.v = random_dv(rng);
+  m.self_row = random_dv(rng);
+  m.behalf = random_dv(rng);
+  const std::size_t rows = rng.below(4);
+  std::uint64_t pid = 0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    pid += 1 + rng.below(50);
+    m.rows[P(pid)] = random_dv(rng, 6);
+  }
+  m.dead = random_set(rng);
+  m.inquiry = rng.chance(0.2);
+  m.reply = rng.chance(0.2);
+  m.has_out_edges = rng.chance(0.3);
+  if (m.has_out_edges) {
+    m.out_edges = random_set(rng);
+  }
+  return m;
+}
+
+/// One random body of each alternative, cycling through all shapes.
+wire::WireMessage random_message(Rng& rng, std::size_t shape) {
+  wire::WireMessage msg;
+  switch (shape % 7) {
+    case 0:
+      msg.kind = MessageKind::kReferencePass;
+      msg.body = wire::RefTransfer{rng.next(), P(rng.below(1 << 20)),
+                                   P(rng.below(1 << 20))};
+      break;
+    case 1:
+      msg.kind = MessageKind::kReferencePass;
+      msg.body = wire::ObjectRefTransfer{rng.next(),
+                                         ObjectId{rng.below(1 << 20)},
+                                         ObjectId{rng.below(1 << 20)}};
+      break;
+    case 2: {
+      const GgdMessage m = random_ggd_message(rng);
+      msg.kind = m.inquiry || m.reply ? MessageKind::kGgdInquiry
+                 : m.is_destruction() ? MessageKind::kGgdDestruction
+                                      : MessageKind::kGgdVector;
+      msg.body = wire::GgdControl{m};
+      break;
+    }
+    case 3:
+      msg.kind = MessageKind::kEagerControl;
+      msg.body = wire::EagerEdgeUpdate{P(rng.below(100)), P(rng.below(100)),
+                                       rng.chance(0.5)};
+      break;
+    case 4: {
+      wire::SchelvisProbe probe;
+      probe.origin = P(rng.below(100));
+      const std::size_t hops = rng.below(10);
+      for (std::size_t i = 0; i < hops; ++i) {
+        probe.path.push_back(P(rng.below(100)));  // unsorted on purpose
+      }
+      probe.visited = random_set(rng);
+      msg.kind = MessageKind::kSchelvisPacket;
+      msg.body = probe;
+      break;
+    }
+    case 5:
+      msg.kind = MessageKind::kWrcControl;
+      msg.body = wire::WrcWeightReturn{P(rng.below(100)), rng.next()};
+      break;
+    default:
+      msg.kind = MessageKind::kTracingControl;
+      msg.body = wire::ControlPing{};
+      break;
+  }
+  return msg;
+}
+
+TEST(WireCodec, VarintRoundTripsBoundaryValues) {
+  for (std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{127},
+        std::uint64_t{128}, std::uint64_t{16383}, std::uint64_t{16384},
+        std::uint64_t{1} << 32, ~std::uint64_t{0}}) {
+    std::vector<std::uint8_t> buf;
+    wire::Encoder enc(buf);
+    enc.varint(v);
+    wire::Decoder dec(buf);
+    EXPECT_EQ(dec.varint(), v);
+    EXPECT_TRUE(dec.done());
+  }
+}
+
+TEST(WireCodec, TimestampPacksDestructionMarker) {
+  for (const Timestamp ts :
+       {Timestamp{}, Timestamp::creation(1), Timestamp::creation(12345),
+        Timestamp::destruction(1), Timestamp::destruction(12345)}) {
+    std::vector<std::uint8_t> buf;
+    wire::Encoder enc(buf);
+    enc.timestamp(ts);
+    wire::Decoder dec(buf);
+    EXPECT_EQ(dec.timestamp(), ts);
+    EXPECT_TRUE(dec.done());
+  }
+}
+
+TEST(WireCodec, DependencyVectorRoundTripsRandomVectors) {
+  Rng rng(2026);
+  for (int i = 0; i < 500; ++i) {
+    const DependencyVector dv = random_dv(rng, 20);
+    std::vector<std::uint8_t> buf;
+    wire::Encoder enc(buf);
+    enc.dependency_vector(dv);
+    wire::Decoder dec(buf);
+    EXPECT_EQ(dec.dependency_vector(), dv);
+    EXPECT_TRUE(dec.done());
+  }
+}
+
+TEST(WireCodec, DeltaEncodingKeepsDenseVectorsCompact) {
+  // Adjacent process ids cost one byte each after the first, regardless
+  // of their absolute magnitude — the property that keeps circulating
+  // vectors small in long-running systems with large id spaces.
+  DependencyVector dv;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    dv.set(P((1ULL << 40) + i), Timestamp::creation(1));
+  }
+  std::vector<std::uint8_t> buf;
+  wire::Encoder enc(buf);
+  enc.dependency_vector(dv);
+  // count (1) + first id (6 varint bytes) + 63 * (1 delta + 1 ts) + 1 ts.
+  EXPECT_LE(buf.size(), 1u + 6u + 63u * 2u + 1u);
+}
+
+TEST(WireCodec, MessageRoundTripsAllShapes) {
+  Rng rng(97);
+  for (std::size_t i = 0; i < 700; ++i) {
+    const wire::WireMessage msg = random_message(rng, i);
+    std::vector<std::uint8_t> buf;
+    wire::Encoder enc(buf);
+    wire::encode_message(enc, msg);
+    EXPECT_EQ(buf.size(), wire::encoded_size(msg));
+    wire::Decoder dec(buf);
+    const auto decoded = wire::decode_message(dec);
+    ASSERT_TRUE(decoded.has_value()) << "shape " << i % 7;
+    EXPECT_EQ(*decoded, msg);
+    EXPECT_TRUE(dec.done());
+  }
+}
+
+TEST(WireCodec, TruncatedBuffersAreRejectedAtEveryLength) {
+  Rng rng(31337);
+  for (std::size_t i = 0; i < 70; ++i) {
+    const wire::WireMessage msg = random_message(rng, i);
+    std::vector<std::uint8_t> buf;
+    wire::Encoder enc(buf);
+    wire::encode_message(enc, msg);
+    for (std::size_t len = 0; len < buf.size(); ++len) {
+      wire::Decoder dec(buf.data(), len);
+      const auto decoded = wire::decode_message(dec);
+      // A strict prefix must either fail to decode or fail to consume the
+      // (shorter) buffer exactly — it can never silently pass for the
+      // original: the framing is a prefix code.
+      EXPECT_FALSE(decoded.has_value() && dec.done() && *decoded == msg);
+      if (decoded.has_value()) {
+        // Tolerated only when the prefix is itself a complete encoding of
+        // a *different* value; dec.ok() must reflect no underflow.
+        EXPECT_TRUE(dec.ok());
+      }
+    }
+  }
+}
+
+TEST(WireCodec, MalformedBytesNeverCrashTheDecoder) {
+  Rng rng(555);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<std::uint8_t> junk(rng.below(40));
+    for (auto& b : junk) {
+      b = static_cast<std::uint8_t>(rng.below(256));
+    }
+    wire::Decoder dec(junk);
+    (void)wire::decode_message(dec);  // must not abort or read out of bounds
+  }
+}
+
+TEST(WireCodec, OverlongVarintsAreRejected) {
+  // {0x80, 0x00} is a two-byte encoding of 0: over-long forms must fail
+  // so every value has exactly one wire representation.
+  for (const std::vector<std::uint8_t>& bytes :
+       {std::vector<std::uint8_t>{0x80, 0x00},
+        std::vector<std::uint8_t>{0xff, 0x00},
+        std::vector<std::uint8_t>{0x81, 0x80, 0x00}}) {
+    wire::Decoder dec(bytes);
+    (void)dec.varint();
+    EXPECT_FALSE(dec.ok());
+  }
+}
+
+TEST(WireCodec, NonCanonicalDeltaIsRejected) {
+  // Two entries with a zero delta (duplicate process id) are not a
+  // canonical encoding and must fail.
+  std::vector<std::uint8_t> buf;
+  wire::Encoder enc(buf);
+  enc.varint(2);            // count
+  enc.varint(5);            // first id
+  enc.timestamp(Timestamp::creation(1));
+  enc.varint(0);            // zero delta: same id again
+  enc.timestamp(Timestamp::creation(2));
+  wire::Decoder dec(buf);
+  (void)dec.dependency_vector();
+  EXPECT_FALSE(dec.ok());
+}
+
+}  // namespace
+}  // namespace cgc
