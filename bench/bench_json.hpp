@@ -1,0 +1,112 @@
+// Minimal JSON writer shared by the machine-readable bench drivers: the
+// schema is flat enough that a dependency would be overkill, but the
+// output must stay parseable by standard tooling.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "metrics/message_stats.hpp"
+
+namespace cgc::benchjson {
+
+class Json {
+ public:
+  explicit Json(std::ostream& os) : os_(os) {}
+
+  void open(char c) {
+    pad();
+    os_ << c << '\n';
+    ++depth_;
+    first_ = true;
+  }
+  void close(char c) {
+    --depth_;
+    os_ << '\n';
+    pad(true);
+    os_ << c;
+    first_ = false;
+  }
+  void key(const std::string& k) {
+    comma();
+    pad();
+    os_ << '"' << k << "\": ";
+    inline_value_ = true;
+  }
+  void value(std::uint64_t v) {
+    os_ << v;
+    inline_value_ = false;
+  }
+  void value(const std::string& v) {
+    os_ << '"' << v << '"';
+    inline_value_ = false;
+  }
+
+ private:
+  void comma() {
+    if (!first_) {
+      os_ << ",\n";
+    }
+    first_ = false;
+  }
+  void pad(bool force = false) {
+    if (inline_value_ && !force) {
+      return;
+    }
+    for (int i = 0; i < depth_; ++i) {
+      os_ << "  ";
+    }
+  }
+
+  std::ostream& os_;
+  int depth_ = 0;
+  bool first_ = true;
+  bool inline_value_ = false;
+};
+
+inline void write_kind_counters(Json& json, const MessageStats& stats) {
+  json.key("kinds");
+  json.open('{');
+  for (std::size_t i = 0; i < static_cast<std::size_t>(MessageKind::kCount);
+       ++i) {
+    const auto kind = static_cast<MessageKind>(i);
+    const auto& c = stats.of(kind);
+    if (c.sent == 0) {
+      continue;
+    }
+    json.key(std::string(to_string(kind)));
+    json.open('{');
+    json.key("sent");
+    json.value(c.sent);
+    json.key("delivered");
+    json.value(c.delivered);
+    json.key("dropped");
+    json.value(c.dropped);
+    json.key("duplicated");
+    json.value(c.duplicated);
+    json.key("bytes_sent");
+    json.value(c.bytes_sent);
+    json.close('}');
+  }
+  json.close('}');
+}
+
+inline void write_packet_counters(Json& json, const MessageStats& stats) {
+  const auto& p = stats.packets();
+  json.key("packets");
+  json.open('{');
+  json.key("sent");
+  json.value(p.sent);
+  json.key("delivered");
+  json.value(p.delivered);
+  json.key("dropped");
+  json.value(p.dropped);
+  json.key("duplicated");
+  json.value(p.duplicated);
+  json.key("bytes_sent");
+  json.value(p.bytes_sent);
+  json.close('}');
+}
+
+}  // namespace cgc::benchjson

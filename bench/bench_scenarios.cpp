@@ -1,0 +1,135 @@
+// bench_scenarios — per-scenario-class conformance bench (BENCH JSON).
+//
+// Runs a fixed band of fuzz seeds per scenario class through the
+// differential conformance harness and emits BENCH_scenarios.json: per
+// class, the aggregate trace shape (ops, processes, true garbage) and
+// per-engine message/byte/packet totals plus reclaimed counts. Future
+// PRs diff this file to prove a detection hot path got cheaper without
+// silently trading away conformance (the harness's verdicts gate every
+// number reported here).
+#include <array>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace cgc {
+namespace {
+
+using benchjson::Json;
+
+struct EngineAgg {
+  std::uint64_t runs = 0;
+  std::uint64_t removed = 0;
+  std::uint64_t control_msgs = 0;
+  std::uint64_t control_bytes = 0;
+  std::uint64_t total_msgs = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t failures = 0;
+};
+
+struct ClassAgg {
+  std::uint64_t scenarios = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t processes = 0;
+  std::uint64_t garbage = 0;
+  std::map<std::string, EngineAgg> engines;
+};
+
+constexpr std::uint64_t kSeedsPerClass = 8;
+
+void emit(const std::string& path) {
+  std::map<std::string, ClassAgg> classes;
+  const auto class_count =
+      static_cast<std::uint64_t>(ScenarioClass::kCount);
+  // Seed s maps to class s % kCount, so sweeping a contiguous band visits
+  // every class kSeedsPerClass times.
+  for (std::uint64_t seed = 1; seed <= class_count * kSeedsPerClass;
+       ++seed) {
+    const ScenarioSpec spec = spec_from_seed(seed);
+    const std::vector<MutatorOp> ops = generate_trace(spec);
+    const ConformanceReport report = run_conformance(spec, ops);
+
+    ClassAgg& agg = classes[std::string(to_string(spec.cls))];
+    ++agg.scenarios;
+    agg.ops += ops.size();
+    agg.processes += report.processes;
+    agg.garbage += report.true_garbage;
+    for (const EngineRun& run : report.engines) {
+      EngineAgg& e = agg.engines[run.name];
+      ++e.runs;
+      e.removed += run.removed.size();
+      e.control_msgs += run.control_msgs;
+      e.control_bytes += run.control_bytes;
+      e.total_msgs += run.total_msgs;
+      e.total_bytes += run.total_bytes;
+      e.packets += run.packets_sent;
+      e.failures += run.ok() ? 0 : 1;
+    }
+  }
+
+  std::ofstream os(path);
+  Json json(os);
+  json.open('{');
+  json.key("bench");
+  json.value(std::string("scenarios"));
+  json.key("seeds_per_class");
+  json.value(kSeedsPerClass);
+  json.key("classes");
+  json.open('{');
+  for (const auto& [name, agg] : classes) {
+    json.key(name);
+    json.open('{');
+    json.key("scenarios");
+    json.value(agg.scenarios);
+    json.key("ops");
+    json.value(agg.ops);
+    json.key("processes");
+    json.value(agg.processes);
+    json.key("true_garbage");
+    json.value(agg.garbage);
+    json.key("engines");
+    json.open('{');
+    for (const auto& [ename, e] : agg.engines) {
+      json.key(ename);
+      json.open('{');
+      json.key("runs");
+      json.value(e.runs);
+      json.key("removed");
+      json.value(e.removed);
+      json.key("control_msgs");
+      json.value(e.control_msgs);
+      json.key("control_bytes");
+      json.value(e.control_bytes);
+      json.key("total_msgs");
+      json.value(e.total_msgs);
+      json.key("total_bytes");
+      json.value(e.total_bytes);
+      json.key("packets");
+      json.value(e.packets);
+      json.key("conformance_failures");
+      json.value(e.failures);
+      json.close('}');
+    }
+    json.close('}');
+    json.close('}');
+  }
+  json.close('}');
+  json.close('}');
+  os << '\n';
+  std::cout << "wrote " << path << '\n';
+}
+
+}  // namespace
+}  // namespace cgc
+
+int main() {
+  cgc::emit("BENCH_scenarios.json");
+  return 0;
+}

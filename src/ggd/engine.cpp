@@ -74,6 +74,9 @@ void GgdEngine::on_ref_transfer(const wire::RefTransfer& transfer) {
   if (!applied_transfers_.insert(transfer.transfer_id).second) {
     return;  // duplicated delivery: the transfer applied once
   }
+  // A re-granted reference obsoletes any still-undelivered destruction of
+  // the previous edge: the net fact is again "recipient holds subject".
+  pending_destructions_.erase({transfer.recipient, transfer.subject});
   logkeeping_.on_receive_ref(process(transfer.recipient), transfer.subject);
   if (on_ref_delivered_) {
     on_ref_delivered_(transfer.recipient, transfer.subject);
@@ -99,6 +102,7 @@ void GgdEngine::local_acquire(ProcessId j, ProcessId k) {
 
 void GgdEngine::drop_ref(ProcessId j, ProcessId k) {
   GgdMessage msg = logkeeping_.on_drop_ref(process(j), k);
+  pending_destructions_[{j, k}] = msg;
   deliver_ggd(std::move(msg));
 }
 
@@ -125,18 +129,31 @@ void GgdEngine::deliver_ggd(GgdMessage msg) {
 }
 
 void GgdEngine::on_ggd_message(const GgdMessage& msg) {
+  if (msg.is_destruction()) {
+    // Delivered: the retransmission obligation for this edge is met (a
+    // removal cascade's destruction supersedes the mutator's own).
+    pending_destructions_.erase({msg.from, msg.to});
+  }
   GgdProcess& target = process(msg.to);
   if (msg.inquiry) {
     // The hosting site answers inquiries; a collected target is answered
     // posthumously with its death certificate.
     ++participating_sites_[site_of(msg.to)];
+    if (!target.removed()) {
+      // The inquiry's piggybacked behalf row delivers any deferred grants
+      // the inquirer holds for this target: the target adjudicates them
+      // before its reply is built, so the reply never certifies an
+      // in-edge row that a pending regrant is about to change.
+      target.absorb_edge_facts(msg.behalf, msg.from);
+    }
     if (target.removed()) {
-      GgdMessage certificate;
-      certificate.from = msg.to;
-      certificate.to = msg.from;
-      certificate.dead.insert(msg.to);
-      certificate.reply = true;
-      deliver_ggd(std::move(certificate));
+      // Posthumous answer: re-issue the corpse's final destruction bundle
+      // towards the inquirer — its death certificate rides in the `dead`
+      // set, and the bundle's deferred on-behalf grants (§3.4) ride in
+      // `v`, healing the case where the original finalisation message to
+      // this inquirer was lost or still in flight when the death became
+      // known through relays.
+      deliver_ggd(target.make_destruction_message(msg.from));
     } else {
       deliver_ggd(target.make_reply(msg.from));
     }
@@ -147,8 +164,9 @@ void GgdEngine::on_ggd_message(const GgdMessage& msg) {
   }
   ++participating_sites_[site_of(msg.to)];
   const bool was_removed = target.removed();
-  std::vector<GgdMessage> out = target.receive(
-      msg, [this](ProcessId p) { return root_flag_.at(p); });
+  std::vector<GgdMessage> out =
+      target.receive(msg, [this](ProcessId p) { return root_flag_.at(p); },
+                     net_.simulator().now());
   if (!was_removed && target.removed()) {
     removed_.push_back(msg.to);
     if (on_removed_) {
@@ -191,6 +209,19 @@ void GgdEngine::schedule_flush(ProcessId p) {
 
 void GgdEngine::periodic_sweep() {
   flush_delay_.clear();
+  // Re-emit destruction messages that never arrived (lost packets): the
+  // deployed system's local collector keeps re-summarising dropped edges.
+  std::vector<GgdMessage> reemit;
+  for (auto it = pending_destructions_.begin();
+       it != pending_destructions_.end();) {
+    if (process(it->first.second).removed()) {
+      it = pending_destructions_.erase(it);
+    } else {
+      reemit.push_back(it->second);
+      ++it;
+    }
+  }
+  dispatch_all(std::move(reemit));
   for (auto& [id, proc] : procs_) {
     (void)id;
     if (proc.removed() || proc.is_root()) {
@@ -200,7 +231,7 @@ void GgdEngine::periodic_sweep() {
     const bool was_removed = proc.removed();
     std::vector<GgdMessage> out =
         proc.decide([this](ProcessId p) { return root_flag_.at(p); },
-                    /*allow_inquiry=*/true);
+                    /*allow_inquiry=*/true, net_.simulator().now());
     if (!was_removed && proc.removed()) {
       removed_.push_back(proc.id());
       if (on_removed_) {

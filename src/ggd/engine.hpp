@@ -103,6 +103,12 @@ class GgdEngine : public wire::Mailbox {
   /// Total DV-log entries across live processes (space metric, T6).
   [[nodiscard]] std::size_t total_log_entries() const;
 
+  /// Destruction messages still owed a first delivery (the sweep re-emits
+  /// these; a non-zero count means the next sweep has recovery work).
+  [[nodiscard]] std::size_t pending_destruction_count() const {
+    return pending_destructions_.size();
+  }
+
   /// Hook invoked when a process removes itself (the runtime uses this to
   /// demote the global root so local GC can reclaim the object).
   void set_on_removed(std::function<void(ProcessId)> hook) {
@@ -147,6 +153,15 @@ class GgdEngine : public wire::Mailbox {
   std::map<SiteId, std::uint64_t> participating_sites_;
   std::set<ProcessId> flush_scheduled_;
   std::map<ProcessId, SimTime> flush_delay_;
+  /// Mutator edge-destruction messages not yet known to have arrived:
+  /// kept until a destruction from the same dropper is delivered to the
+  /// target, and re-emitted by the periodic sweep. This models the
+  /// paper's recovery story — the local collector re-summarises and
+  /// re-emits destruction events — so transient loss costs only latency,
+  /// not comprehensiveness. Destruction messages are idempotent, so a
+  /// re-emission racing the original is harmless duplication.
+  std::map<std::pair<ProcessId, ProcessId>, GgdMessage>
+      pending_destructions_;
   /// Reference transfers are applied exactly once: a duplicated
   /// reference-passing message must not hand the recipient a reference its
   /// mutator already dropped.

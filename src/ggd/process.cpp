@@ -1,5 +1,6 @@
 #include "ggd/process.hpp"
 
+#include <algorithm>
 #include <set>
 
 #include "common/assert.hpp"
@@ -33,7 +34,8 @@ void adopt_row(std::map<ProcessId, DependencyVector>& rows, ProcessId subject,
 }  // namespace
 
 std::vector<GgdMessage> GgdProcess::receive(
-    const GgdMessage& msg, const std::function<bool(ProcessId)>& is_root) {
+    const GgdMessage& msg, const std::function<bool(ProcessId)>& is_root,
+    SimTime now) {
   CGC_CHECK(msg.to == id_);
   if (removed_) {
     // Late or duplicated messages to an already-collected root are ignored;
@@ -50,6 +52,7 @@ std::vector<GgdMessage> GgdProcess::receive(
     if (q != id_ && dead_.insert(q).second) {
       history_.erase(q);
       known_rows_.erase(q);
+      known_behalf_.erase(q);
     }
   }
   // The sender's edge-precise in-edge row. An *empty* row is still an
@@ -69,12 +72,30 @@ std::vector<GgdMessage> GgdProcess::receive(
   // Deferred third-party edge-creation entries logged on our behalf are
   // merged on every message, not only with the final destruction bundle.
   merge_edge_facts(msg.behalf, /*skip=*/m);
+  // Deferred knowledge about THIRD parties accumulates for the walk's
+  // overlay (it reaches its subjects through their own bundles later).
+  for (const auto& [q, row] : msg.behalf_rows) {
+    if (q != id_ && !dead_.contains(q)) {
+      known_behalf_[q].merge(row);
+    }
+  }
 
   const Timestamp known_m = log_.self_row().get(m);
   if (msg.reply) {
     // An inquiry answer: certifies the sender's history and row without
-    // implying any edge m -> i.
+    // implying any edge m -> i. The row adopted above is the sender's own
+    // fresh account as of now — record the arrival time so an unreachable
+    // verdict that began pending earlier may rest on it.
+    confirm_time_[m] = now;
     history_[m].merge(msg.v);
+    if (msg.has_out_edges && msg.out_edges.contains(id_)) {
+      // The responder vouches that it currently holds us: its in-edge
+      // claim is delivery-confirmed up to the slot's present index.
+      const Timestamp cur = log_.self_row().get(m);
+      if (!cur.is_delta() && !cur.destroyed()) {
+        in_edge_confirmed_[m] = std::max(in_edge_confirmed_[m], cur.index());
+      }
+    }
     if (msg.has_out_edges && !msg.out_edges.contains(id_)) {
       const Timestamp cur = log_.self_row().get(m);
       if (!cur.is_delta()) {
@@ -88,6 +109,13 @@ std::vector<GgdMessage> GgdProcess::receive(
             std::max(cur.index(), msg.self_row.get(m).index());
         log_.self_row().set(m, Timestamp::destruction(version));
         resurrected_.erase(m);
+        // Every fact index seen so far for this slot is hereby refuted:
+        // only a strictly newer grant may resurrect it again.
+        auto seen = resurrect_fact_index_.find(m);
+        if (seen != resurrect_fact_index_.end()) {
+          auto& ceiling = refuted_fact_ceiling_[m];
+          ceiling = std::max(ceiling, seen->second);
+        }
       }
     }
   } else if (vm.destroyed() && vm.supersedes(known_m)) {
@@ -103,18 +131,51 @@ std::vector<GgdMessage> GgdProcess::receive(
     log_.self_row().merge_entry(m, vm);
     resurrected_.erase(m);
     merge_edge_facts(msg.v, /*skip=*/m);
+  } else if (vm.destroyed()) {
+    // Stale destruction (a duplicate, a reordered copy, or a sweep
+    // re-emission whose marker no longer supersedes): the marker itself
+    // is old news, but the bundled deferred edge-creation entries are
+    // edge facts that must still land — dropping them can lose the ONLY
+    // record of a lazily-deferred in-edge when its forwarder has since
+    // been collected (found by scenario fuzzing).
+    log_.self_row().merge_entry(m, vm);
+    merge_edge_facts(msg.v, /*skip=*/m);
   } else {
-    // Vector-propagation message (or stale destruction): slot `m` is the
-    // edge fact (the sender holds an edge m -> i, or it would not be
-    // forwarding its vector here); the vector as a whole is m's own account
-    // of its causal history and goes into the history map, NOT into the
-    // self row — conflating the two lets transitive entries masquerade as
-    // incoming edges (DESIGN.md §2).
+    // Vector-propagation message: slot `m` is the edge fact (the sender
+    // holds an edge m -> i, or it would not be forwarding its vector
+    // here); the vector as a whole is m's own account of its causal
+    // history and goes into the history map, NOT into the self row —
+    // conflating the two lets transitive entries masquerade as incoming
+    // edges (DESIGN.md §2).
     if (vm.supersedes(log_.self_row().get(m))) {
       resurrected_.erase(m);
     }
     log_.self_row().merge_entry(m, vm);
     history_[m].merge(msg.v);
+  }
+
+  if (dead_.contains(m)) {
+    // Hearing from a collected process at all means this is its final
+    // account (a posthumous bundle or certificate): whatever index races
+    // left in the slot, the edge is gone — death is stable. Without this,
+    // a live slot raced above the corpse's final event index blocks the
+    // walk on the same dead subject for ever.
+    const Timestamp cur = log_.self_row().get(m);
+    if (!cur.is_delta()) {
+      log_.self_row().set(m, Timestamp::destruction(cur.index()));
+      resurrected_.erase(m);
+    }
+  }
+
+  if (!msg.reply && !vm.is_delta() && !vm.destroyed()) {
+    // A live non-reply message from m is only sent along a live edge
+    // m -> us (vector forwards go to acquaintances): m holds us right
+    // now, so whatever the slot's current state is, its delivery is
+    // confirmed. A destruction (vm destroyed) confirms nothing.
+    const Timestamp cur = log_.self_row().get(m);
+    if (!cur.is_delta() && !cur.destroyed()) {
+      in_edge_confirmed_[m] = std::max(in_edge_confirmed_[m], cur.index());
+    }
   }
 
   const DependencyVector v = compute_v();
@@ -134,7 +195,15 @@ std::vector<GgdMessage> GgdProcess::receive(
   // a destruction marker for one edge of q would mask a live entry for a
   // different edge of q (DESIGN.md §2) — but it remains the quantity the
   // paper's figures show and what triggers propagation above.
-  std::vector<GgdMessage> decision = decide(is_root, /*allow_inquiry=*/false);
+  //
+  // Inquiries ride only on replies: during an active cascade the missing
+  // information is already on its way in relayed rows, but a reply means
+  // this process is mid-completion of a blocked decision — a gap the
+  // reply's row just uncovered must be chased NOW (demand-driven
+  // completion), or a discovery chain of depth d would need d sweep
+  // rounds to drain.
+  std::vector<GgdMessage> decision =
+      decide(is_root, /*allow_inquiry=*/msg.reply, now);
   out.insert(out.end(), decision.begin(), decision.end());
   return out;
 }
@@ -161,23 +230,39 @@ std::vector<GgdMessage> GgdProcess::take_forwards() {
 }
 
 std::vector<GgdMessage> GgdProcess::decide(
-    const std::function<bool(ProcessId)>& is_root, bool allow_inquiry) {
+    const std::function<bool(ProcessId)>& is_root, bool allow_inquiry,
+    SimTime now) {
   std::vector<GgdMessage> out;
   if (is_root_ || removed_) {
     return out;
   }
   std::set<ProcessId> missing;
   std::set<ProcessId> root_evidence;
-  const WalkResult res = walk_to_root(is_root, missing, root_evidence);
+  std::set<ProcessId> consulted;
+  const WalkResult res = walk_to_root(is_root, missing, root_evidence,
+                                      consulted);
   if (!allow_inquiry && res != WalkResult::kUnreachable) {
     return out;
   }
+  if (res != WalkResult::kUnreachable) {
+    // Any non-unreachable verdict closes the pending verification epoch:
+    // the next unreachable verdict must gather confirmations that
+    // postdate ITS OWN walk, not replies from an earlier suspicion that
+    // the topology has since overtaken.
+    pending_verify_ = false;
+  }
   if (res == WalkResult::kReachable) {
-    // A live-root verdict resting on replicated rows may be stale (the
-    // replica predates the root's own edge destruction). Re-verify each
-    // supporting replica at most once per version: a fresh reply either
-    // confirms genuine liveness or reflects the destruction marker and
+    // A live-root verdict resting on replicated rows may be stale
+    // ANYWHERE along the evidence chain, not only at the root-entry
+    // supplier: a middle link's replica can still claim an edge its
+    // subject has since lost (e.g. the subject died and its final bundle
+    // was dropped — found by scenario fuzzing). Re-verify every consulted
+    // replica at most once per version: a fresh reply (or a posthumous
+    // bundle) either confirms genuine liveness or updates the row and
     // lets the collection proceed.
+    if (!root_evidence.empty()) {
+      root_evidence.insert(consulted.begin(), consulted.end());
+    }
     for (ProcessId q : root_evidence) {
       auto rit = known_rows_.find(q);
       const std::uint64_t version =
@@ -191,15 +276,58 @@ std::vector<GgdMessage> GgdProcess::decide(
         inq.from = id_;
         inq.to = q;
         inq.inquiry = true;
+        inq.behalf = log_.row(q);
         out.push_back(std::move(inq));
       }
     }
   } else if (res == WalkResult::kUnreachable) {
-    // No live path of edges from any actual root: garbage. Garbage being
-    // a stable property (§5), the decision is final. Finalise by
-    // cascading edge-destruction messages to all successors.
-    std::vector<GgdMessage> fin = remove_self();
-    out.insert(out.end(), fin.begin(), fin.end());
+    // No live path of edges from any actual root — but a replica row of a
+    // LIVE subject can be stale (missing an edge created at the subject
+    // after the replica was relayed), so before acting on it the verdict
+    // must be confirmed by a fresh reply from each such subject at its
+    // current version. Dead subjects' rows are final and exempt. Genuine
+    // garbage confirms trivially — a garbage subject's row can never gain
+    // an edge, so its reply echoes the same version and the re-decision
+    // triggered by the reply finalises the removal.
+    if (!pending_verify_) {
+      // The verdict begins pending NOW: only replies arriving after this
+      // instant certify that the consulted rows are current, not relics
+      // of an earlier cascade the mutator has since overtaken.
+      pending_verify_ = true;
+      pending_verify_since_ = now;
+    }
+    std::set<ProcessId> unconfirmed;
+    for (ProcessId q : consulted) {
+      if (!known_rows_.contains(q)) {
+        continue;  // row vanished (death learned mid-walk): nothing to ask
+      }
+      auto cit = confirm_time_.find(q);
+      if (cit == confirm_time_.end() || cit->second <= pending_verify_since_) {
+        unconfirmed.insert(q);
+      }
+    }
+    if (unconfirmed.empty()) {
+      // Garbage being a stable property (§5), the decision is final.
+      // Finalise by cascading edge-destruction messages to all successors.
+      pending_verify_ = false;
+      std::vector<GgdMessage> fin = remove_self();
+      out.insert(out.end(), fin.begin(), fin.end());
+    } else {
+      for (ProcessId q : unconfirmed) {
+        if (inflight_inquiries_.insert(q).second) {
+          GgdMessage inq;
+          inq.from = id_;
+          inq.to = q;
+          inq.inquiry = true;
+          // Deferred grants we hold for q ride along: q must adjudicate
+          // them (a regrant below an old destruction marker resurrects
+          // and lease-verifies at q) before its reply can certify an
+          // all-dead in-edge row.
+          inq.behalf = log_.row(q);
+          out.push_back(std::move(inq));
+        }
+      }
+    }
   } else {
     // Demand-driven completion: ask each unknown transitive predecessor
     // for its row. Its reply — or its hosting site's posthumous death
@@ -207,16 +335,50 @@ std::vector<GgdMessage> GgdProcess::decide(
     // have long quiesced. Inquiry traffic is proportional to the blocked
     // structure, preserving the no-consensus scalability story.
     for (ProcessId q : missing) {
-      // At most one outstanding inquiry per subject: any message from the
-      // subject (its reply included) clears the gate, so a subject that
-      // stays missing is eventually re-asked, while a burst of unrelated
-      // replies cannot re-trigger a storm of duplicates.
+      // At most one outstanding inquiry per subject, and at most one per
+      // row version per round: a reply that did not advance the subject's
+      // row will not advance it if re-asked immediately either.
+      auto rit = known_rows_.find(q);
+      const std::uint64_t version =
+          rit == known_rows_.end() ? 0 : rit->second.get(q).index();
+      auto [vit, fresh] = blocked_inquired_version_.emplace(q, version);
+      if (!fresh && vit->second >= version) {
+        continue;
+      }
+      vit->second = version;
       inquired_.insert(q);
       if (inflight_inquiries_.insert(q).second) {
         GgdMessage inq;
         inq.from = id_;
         inq.to = q;
         inq.inquiry = true;
+        inq.behalf = log_.row(q);
+        out.push_back(std::move(inq));
+      }
+    }
+  }
+  if (res != WalkResult::kUnreachable && allow_inquiry) {
+    // Lease verification: every live in-edge claim whose delivery was
+    // never confirmed is asked about once (per slot index — a fresh grant
+    // re-verifies). Under loss a send-recorded edge may never have
+    // materialised, and if the phantom holder is itself live, the walk
+    // above finds a genuine root path THROUGH it and would pin this
+    // process alive for ever; the holder's reply either vouches for the
+    // edge (confirming the lease) or refutes it (masking the slot).
+    for (const auto& [q, ts] : log_.self_row().entries()) {
+      if (q == id_ || ts.is_delta() || ts.destroyed() || dead_.contains(q)) {
+        continue;
+      }
+      auto cit = in_edge_confirmed_.find(q);
+      if (cit != in_edge_confirmed_.end() && cit->second >= ts.index()) {
+        continue;
+      }
+      if (inflight_inquiries_.insert(q).second) {
+        GgdMessage inq;
+        inq.from = id_;
+        inq.to = q;
+        inq.inquiry = true;
+        inq.behalf = log_.row(q);
         out.push_back(std::move(inq));
       }
     }
@@ -226,18 +388,39 @@ std::vector<GgdMessage> GgdProcess::decide(
 
 void GgdProcess::reset_inquiry_gates() {
   inquired_.clear();
+  // Every gate ages out each sweep round: replicas can go stale without
+  // their version advancing (resurrections and refutation masks do not
+  // bump the owner's counter), so reachable-evidence chains must be
+  // re-verifiable every round — the sweep's traffic is the price of
+  // recovering from lost finalisation bundles.
   inquired_version_.clear();
   inflight_inquiries_.clear();
+  blocked_inquired_version_.clear();
+  // Confirmations age out each sweep round: a subject's row may have
+  // advanced without reaching us, so stale certificates must not carry an
+  // unreachable verdict across rounds.
+  confirm_time_.clear();
+  pending_verify_ = false;
 }
 
 void GgdProcess::merge_edge_facts(const DependencyVector& facts,
                                   ProcessId skip) {
   for (const auto& [q, ts] : facts.entries()) {
-    if (q == skip || q == id_ || ts.is_delta()) {
+    if (q == skip || q == id_ || ts.is_delta() || dead_.contains(q)) {
+      // Dead holders never come back: a stale fact entry must not
+      // resurrect the slot of a collected process (its posthumous bundle
+      // would then re-arrive and loop the resurrect/refute cycle).
       continue;
     }
     const Timestamp cur = log_.self_row().get(q);
     if (cur.destroyed() && cur.index() >= ts.index()) {
+      auto ceiling = refuted_fact_ceiling_.find(q);
+      if (ceiling != refuted_fact_ceiling_.end() &&
+          ts.index() <= ceiling->second) {
+        // This very fact (or an older one) was already refuted by q's own
+        // fresh reply: re-resurrecting it would loop the verify cycle.
+        continue;
+      }
       // Conservative resurrection (DESIGN.md §2): the on-behalf entry
       // announces an edge q -> i, but third parties assign indexes from
       // stale views, so a *re-created* edge can arrive numerically below
@@ -249,6 +432,8 @@ void GgdProcess::merge_edge_facts(const DependencyVector& facts,
       // merely later.
       log_.self_row().set(q, Timestamp::creation(cur.index() + 1));
       resurrected_.insert(q);
+      auto& seen = resurrect_fact_index_[q];
+      seen = std::max(seen, ts.index());
     } else {
       const Timestamp before = log_.self_row().get(q);
       log_.self_row().merge_entry(q, ts);
@@ -262,35 +447,59 @@ void GgdProcess::merge_edge_facts(const DependencyVector& facts,
 
 GgdProcess::WalkResult GgdProcess::walk_to_root(
     const std::function<bool(ProcessId)>& is_root,
-    std::set<ProcessId>& missing, std::set<ProcessId>& root_evidence) const {
+    std::set<ProcessId>& missing, std::set<ProcessId>& root_evidence,
+    std::set<ProcessId>& consulted) const {
   std::set<ProcessId> visited{id_};
   // Stack of (process, subject of the row that contributed it); the
   // invalid id marks entries contributed by our own self row.
   std::vector<std::pair<ProcessId, ProcessId>> stack;
   bool reachable = false;
+  bool blocked = false;
   auto push_live_slots = [&](const DependencyVector& row, ProcessId source) {
     for (const auto& [q, ts] : row.entries()) {
-      if (!ts.is_delta() && !dead_.contains(q) && !visited.contains(q)) {
-        stack.emplace_back(q, source);
+      if (ts.is_delta() || ts.destroyed() || visited.contains(q)) {
+        continue;
       }
+      if (dead_.contains(q)) {
+        // A LIVE slot of a collected process: the corpse's final
+        // destruction bundle — which atomically carries its deferred
+        // on-behalf grants (§3.4) — has not been processed at the row's
+        // owner yet, so the row is mid-update: a rescue grant the corpse
+        // deferred may still be in flight. Death certificates travel
+        // faster than bundles (they relay on every message); concluding
+        // "all paths dead" here removes a live process (found by
+        // scenario fuzzing). Block; inquiring the slot's subject fetches
+        // the bundle posthumously for our own row, and a replica owner's
+        // refreshed row arrives via the usual confirmation round.
+        missing.insert(source.valid() ? source : q);
+        blocked = true;
+        continue;
+      }
+      stack.emplace_back(q, source);
     }
   };
   push_live_slots(log_.self_row(), ProcessId{});
-  bool blocked = false;
   while (!stack.empty()) {
     const auto [q, source] = stack.back();
     stack.pop_back();
     if (is_root(q)) {
       reachable = true;
+      const Timestamp own = log_.self_row().get(q);
+      const auto confirmed_it = in_edge_confirmed_.find(q);
+      const bool delivery_confirmed =
+          confirmed_it != in_edge_confirmed_.end() &&
+          confirmed_it->second >= own.index();
       if (source.valid()) {
         root_evidence.insert(source);
-      } else if (resurrected_.contains(q)) {
-        // A resurrected root claim in our own self row: conservative, but
-        // it must be re-verified with the root itself or it pins this
-        // process alive for ever on a stale announcement.
+      } else if (resurrected_.contains(q) || !delivery_confirmed) {
+        // A resurrected root claim, or one whose delivery was never
+        // confirmed (a self-row entry records the SEND of the reference;
+        // the carrying packet may have been lost): conservative, but it
+        // must be re-verified with the root itself or it pins this
+        // process alive for ever.
         root_evidence.insert(q);
       } else {
-        // Our own self row holds a live, genuinely delivered root edge:
+        // Our own self row holds a live, delivery-confirmed root edge:
         // authoritative, no re-verification needed.
         root_evidence.clear();
         return WalkResult::kReachable;
@@ -300,15 +509,48 @@ GgdProcess::WalkResult GgdProcess::walk_to_root(
     if (!visited.insert(q).second) {
       continue;
     }
+    // The subject's replica row, overlaid with OUR deferred on-behalf
+    // entries for it: a third-party forward this process performed is edge
+    // knowledge the subject itself does not have yet (§3.4 — it travels
+    // only with the eventual destruction bundle). Walking the replica
+    // alone would let a lazily-deferred edge q -> root go unseen and
+    // "prove" a live structure dead (found by scenario fuzzing). A stale
+    // behalf entry cannot pin garbage for ever: the edge's destruction
+    // carries the dropper's own counter, which supersedes the per-slot
+    // behalf index in the merge.
     auto it = known_rows_.find(q);
+    const DependencyVector& behalf = log_.row(q);
+    auto bit = known_behalf_.find(q);
+    const bool overlay = !behalf.entries().empty() ||
+                         bit != known_behalf_.end();
     if (it == known_rows_.end()) {
       // Unknown predecessor: cannot prove this path dead. Conservatively
-      // blocked until q's row arrives.
+      // blocked until q's row arrives — but deferred grants already known
+      // here (ours or relayed) still contribute live continuations.
       missing.insert(q);
       blocked = true;
+      if (overlay) {
+        DependencyVector view = behalf;
+        if (bit != known_behalf_.end()) {
+          view.merge(bit->second);
+        }
+        push_live_slots(view, q);
+      }
       continue;
     }
-    push_live_slots(it->second, q);
+    consulted.insert(q);
+    if (!overlay) {
+      // Common case: no deferred-grant overlay — walk the stored replica
+      // by reference, no copies.
+      push_live_slots(it->second, q);
+    } else {
+      DependencyVector view = it->second;
+      view.merge(behalf);
+      if (bit != known_behalf_.end()) {
+        view.merge(bit->second);
+      }
+      push_live_slots(view, q);
+    }
   }
   if (reachable) {
     return WalkResult::kReachable;
@@ -421,6 +663,13 @@ GgdMessage GgdProcess::make_reply(ProcessId to) const {
   msg.v = compute_v();
   msg.self_row = log_.self_row();
   msg.behalf = log_.row(to);
+  // The full deferred on-behalf knowledge rides along: the inquirer's
+  // verdict may hinge on a grant we deferred for a THIRD party (§3.4).
+  for (const auto& [q, row] : log_.rows()) {
+    if (q != id_ && q != to && !row.entries().empty()) {
+      msg.behalf_rows.emplace(q, row);
+    }
+  }
   msg.rows = known_rows_;
   msg.dead = dead_;
   msg.reply = true;

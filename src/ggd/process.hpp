@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "sim/simulator.hpp"
 #include "vclock/dv_log.hpp"
 
 namespace cgc {
@@ -52,6 +53,14 @@ struct GgdMessage {
   /// between a vector forward and the pending bundle that would have
   /// rescued the receiver.
   DependencyVector behalf;
+  /// The sender's complete deferred on-behalf knowledge: for each third
+  /// party q, the edge-creation entries the sender logged on q's behalf
+  /// (§3.4) but has not yet delivered. Replies carry these so a walker
+  /// whose verdict depends on a TRANSITIVE subject's in-edges can see
+  /// grants that exist only at a forwarder — without them, a process two
+  /// hops from a lazily-deferred rescue edge can prove a live structure
+  /// dead (found by scenario fuzzing).
+  std::map<ProcessId, DependencyVector> behalf_rows;
   /// Relayed in-edge rows of other processes, versioned by their subjects'
   /// own counters. Rows flooding along the cascade is what keeps the
   /// message COUNT of collecting a k-element structure at O(k) (§4's
@@ -114,7 +123,8 @@ class GgdProcess {
   /// Idempotent: processing a duplicate of any previously processed message
   /// produces no state change and no output (tested, not assumed).
   [[nodiscard]] std::vector<GgdMessage> receive(
-      const GgdMessage& msg, const std::function<bool(ProcessId)>& is_root);
+      const GgdMessage& msg, const std::function<bool(ProcessId)>& is_root,
+      SimTime now = 0);
 
   /// ComputeV (Fig. 6): the best vector-time approximation of this
   /// process's latest log-keeping event derivable from the local log alone.
@@ -158,6 +168,14 @@ class GgdProcess {
     known_rows_.erase(q);
   }
 
+  /// Accumulated third-party on-behalf knowledge: for subject q, the
+  /// merged deferred edge-creation entries reported by any forwarder.
+  /// Overlaid on q's replica row during the walk.
+  [[nodiscard]] const std::map<ProcessId, DependencyVector>& known_behalf()
+      const {
+    return known_behalf_;
+  }
+
   /// The edge-precise in-edge row of `q` as last reported by `q` itself
   /// (replace-if-newer by q's own event counter). Empty row if unknown.
   [[nodiscard]] const DependencyVector* known_row(ProcessId q) const {
@@ -173,10 +191,13 @@ class GgdProcess {
   /// row is missing; `missing` receives those processes (inquiry targets).
   /// On kReachable, `root_evidence` receives the subjects of the replica
   /// rows that supplied the live root entries (empty when the evidence is
-  /// this process's own self row, which is authoritative).
+  /// this process's own self row, which is authoritative). `consulted`
+  /// receives every non-dead subject whose replica row the walk expanded —
+  /// the rows an unreachable verdict rests on.
   [[nodiscard]] WalkResult walk_to_root(
       const std::function<bool(ProcessId)>& is_root,
-      std::set<ProcessId>& missing, std::set<ProcessId>& root_evidence) const;
+      std::set<ProcessId>& missing, std::set<ProcessId>& root_evidence,
+      std::set<ProcessId>& consulted) const;
 
   /// Runs the garbage decision (walk + removal or inquiries) without a
   /// triggering message. Used by the periodic sweep that models the
@@ -187,7 +208,8 @@ class GgdProcess {
   /// rows, and inquiring for it would multiply traffic; after quiescence
   /// the sweep's inquiries are the stall-recovery mechanism.
   [[nodiscard]] std::vector<GgdMessage> decide(
-      const std::function<bool(ProcessId)>& is_root, bool allow_inquiry);
+      const std::function<bool(ProcessId)>& is_root, bool allow_inquiry,
+      SimTime now = 0);
 
   /// True when this process's vector time improved since its last flush —
   /// the engine coalesces forwards (one per process per delivery tick), so
@@ -202,6 +224,14 @@ class GgdProcess {
   /// Clears the inquiry rate-limiting state so a sweep can re-verify stale
   /// verdicts.
   void reset_inquiry_gates();
+
+  /// Merges announced edge facts delivered outside a regular message —
+  /// the engine feeds an inquiry's piggybacked behalf row through this,
+  /// so a deferred grant reaches its subject for adjudication (resurrect,
+  /// lease-verify or refute) before the subject's reply is built.
+  void absorb_edge_facts(const DependencyVector& facts, ProcessId from) {
+    merge_edge_facts(facts, /*skip=*/from);
+  }
 
   /// Certified causal histories of other processes, keyed by sender. Kept
   /// separate from the on-behalf rows in `log_`: the self row and the
@@ -227,6 +257,7 @@ class GgdProcess {
   DvLog log_;
   std::map<ProcessId, DependencyVector> history_;
   std::map<ProcessId, DependencyVector> known_rows_;
+  std::map<ProcessId, DependencyVector> known_behalf_;
   std::set<ProcessId> dead_;
   std::set<ProcessId> inquired_;
   /// Inquiries currently outstanding: at most one in flight per subject
@@ -234,16 +265,52 @@ class GgdProcess {
   /// periodic sweep). Without this, every reply re-inquires every other
   /// still-missing subject and traffic grows combinatorially.
   std::set<ProcessId> inflight_inquiries_;
+  /// Per blocked-walk subject: its row version at the last inquiry. A
+  /// subject whose answer did not advance its row is not re-asked within
+  /// the same round (its own pending resolution — e.g. fetching a dead
+  /// holder's posthumous bundle — takes its own round trips); the sweep
+  /// clears this so every round retries once.
+  std::map<ProcessId, std::uint64_t> blocked_inquired_version_;
   /// Self-row slots whose live entry came from conservative resurrection
   /// (an announced edge fact that an existing destruction marker would
   /// have masked). Such entries are not authoritative: a root claim among
   /// them is re-verified by inquiring the subject before it can pin this
   /// process alive for ever.
   std::set<ProcessId> resurrected_;
+  /// Per slot: the highest fact index that fed a resurrection, and the
+  /// ceiling of fact indexes already refuted by the subject's own fresh
+  /// reply. A stale behalf entry re-arriving after its refutation must
+  /// not resurrect again (resurrect → verify → refute → resurrect would
+  /// livelock); only a strictly newer fact — a genuinely new grant, whose
+  /// per-slot index has advanced — may.
+  std::map<ProcessId, std::uint64_t> resurrect_fact_index_;
+  std::map<ProcessId, std::uint64_t> refuted_fact_ceiling_;
   /// Per subject: the row version at which a reachable-via-replica verdict
   /// was last re-verified by inquiry. A stale replica claiming a live root
   /// edge is refreshed at most once per version.
   std::map<ProcessId, std::uint64_t> inquired_version_;
+  /// Per subject: the sim time of the last direct reply from the subject
+  /// itself. An unreachable verdict may rest on a live subject's replica
+  /// row only when that reply arrived AFTER the verdict began pending
+  /// (`pending_verify_since_`) — a replica, or a confirmation from an
+  /// earlier cascade, can predate an edge creation at its subject, and
+  /// combining such stale rows with newer death knowledge fabricates an
+  /// "all paths dead" proof (found by scenario fuzzing; dead subjects'
+  /// rows are stable and need no confirmation). Genuine garbage confirms
+  /// in one inquiry round — its rows can never change again.
+  std::map<ProcessId, SimTime> confirm_time_;
+  bool pending_verify_ = false;
+  SimTime pending_verify_since_ = 0;
+  /// Per in-edge subject: the self-row slot index up to which the edge's
+  /// DELIVERY is confirmed — the holder has messaged us (it would not,
+  /// did it not hold us) or its reply listed us among its out-edges. A
+  /// self-row entry records the SEND side of a reference transfer, so
+  /// under message loss it can describe an edge that never materialised;
+  /// an unconfirmed live claim is re-verified by inquiry (found by
+  /// scenario fuzzing: a lost newborn-to-creator transfer left an orphan
+  /// pinned alive by its own send record for ever). Never cleared —
+  /// delivery, once confirmed at an index, is a stable fact.
+  std::map<ProcessId, std::uint64_t> in_edge_confirmed_;
   bool forward_pending_ = false;
   DependencyVector last_v_;
   std::set<ProcessId> acquaintances_;

@@ -1,0 +1,264 @@
+#include "oracle/reachability_oracle.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace cgc {
+
+namespace {
+
+std::set<ProcessId> reach_from(
+    const std::set<ProcessId>& roots,
+    const std::map<ProcessId, std::set<ProcessId>>& edges) {
+  std::set<ProcessId> seen;
+  std::vector<ProcessId> stack(roots.begin(), roots.end());
+  while (!stack.empty()) {
+    const ProcessId p = stack.back();
+    stack.pop_back();
+    if (!seen.insert(p).second) {
+      continue;
+    }
+    auto it = edges.find(p);
+    if (it == edges.end()) {
+      continue;
+    }
+    for (ProcessId q : it->second) {
+      stack.push_back(q);
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+void ReachabilityOracle::add_root(ProcessId id, SimTime at) {
+  CGC_CHECK_MSG(!edges_.contains(id), "oracle: duplicate node id");
+  edges_[id];
+  roots_.insert(id);
+  history_.push_back({at, Event::Kind::kRoot, id, {}});
+}
+
+void ReachabilityOracle::add_node(ProcessId id, SimTime at) {
+  CGC_CHECK_MSG(!edges_.contains(id), "oracle: duplicate node id");
+  edges_[id];
+  history_.push_back({at, Event::Kind::kNode, id, {}});
+}
+
+void ReachabilityOracle::add_edge(ProcessId holder, ProcessId target,
+                                  SimTime at) {
+  edges_[holder].insert(target);
+  history_.push_back({at, Event::Kind::kEdge, holder, target});
+}
+
+void ReachabilityOracle::remove_edge(ProcessId holder, ProcessId target,
+                                     SimTime at) {
+  auto it = edges_.find(holder);
+  CGC_CHECK_MSG(it != edges_.end() && it->second.erase(target) > 0,
+                "oracle: removing an edge that does not exist");
+  history_.push_back({at, Event::Kind::kUnedge, holder, target});
+}
+
+bool ReachabilityOracle::apply(const MutatorOp& op, SimTime at) {
+  switch (op.kind) {
+    case MutatorOp::Kind::kAddRoot:
+      if (edges_.contains(op.a)) {
+        return false;
+      }
+      add_root(op.a, at);
+      return true;
+    case MutatorOp::Kind::kCreate:
+      if (edges_.contains(op.a) || !live(op.b)) {
+        return false;
+      }
+      add_node(op.a, at);
+      add_edge(op.b, op.a, at);
+      return true;
+    case MutatorOp::Kind::kLinkOwn:
+      // a introduces itself to b (edge b -> a): legal whenever a's code
+      // can run, i.e. a is live; b only needs to exist. The grant target
+      // is a itself, so a garbage process can never become reachable.
+      if (op.a == op.b || !live(op.a) || !knows(op.b)) {
+        return false;
+      }
+      add_edge(op.b, op.a, at);
+      return true;
+    case MutatorOp::Kind::kLinkThird:
+      // Forwarder must be live and actually hold the subject, which makes
+      // the subject reachable through the forwarder — granting it to
+      // anyone cannot resurrect garbage.
+      if (op.recipient() == op.subject() || !live(op.forwarder()) ||
+          !holds(op.forwarder(), op.subject()) || !knows(op.recipient())) {
+        return false;
+      }
+      add_edge(op.recipient(), op.subject(), at);
+      return true;
+    case MutatorOp::Kind::kDrop:
+      if (!live(op.a) || !holds(op.a, op.b)) {
+        return false;
+      }
+      remove_edge(op.a, op.b, at);
+      return true;
+  }
+  return false;
+}
+
+std::vector<MutatorOp> ReachabilityOracle::normalize(
+    const std::vector<MutatorOp>& ops) {
+  ReachabilityOracle oracle;
+  std::vector<MutatorOp> kept;
+  kept.reserve(ops.size());
+  for (const MutatorOp& op : ops) {
+    if (oracle.apply(op)) {
+      kept.push_back(op);
+    }
+  }
+  return kept;
+}
+
+bool ReachabilityOracle::holds(ProcessId holder, ProcessId target) const {
+  auto it = edges_.find(holder);
+  return it != edges_.end() && it->second.contains(target);
+}
+
+const std::set<ProcessId>& ReachabilityOracle::refs_of(
+    ProcessId holder) const {
+  static const std::set<ProcessId> kEmpty;
+  auto it = edges_.find(holder);
+  return it == edges_.end() ? kEmpty : it->second;
+}
+
+std::set<ProcessId> ReachabilityOracle::reachable() const {
+  return reach_from(roots_, edges_);
+}
+
+std::set<ProcessId> ReachabilityOracle::true_garbage() const {
+  std::set<ProcessId> out;
+  const std::set<ProcessId> seen = reachable();
+  for (const auto& [p, targets] : edges_) {
+    (void)targets;
+    if (!seen.contains(p) && !roots_.contains(p)) {
+      out.insert(p);
+    }
+  }
+  return out;
+}
+
+std::set<ProcessId> ReachabilityOracle::counting_collectable() const {
+  const std::set<ProcessId> garbage = true_garbage();
+  // In-degree within the garbage-induced subgraph. A live holder cannot
+  // point at garbage (that would make the target reachable), so garbage
+  // in-edges only ever come from garbage.
+  std::map<ProcessId, std::size_t> in_degree;
+  for (ProcessId p : garbage) {
+    in_degree[p];
+  }
+  for (ProcessId p : garbage) {
+    for (ProcessId q : refs_of(p)) {
+      if (garbage.contains(q)) {
+        ++in_degree[q];
+      }
+    }
+  }
+  // Kahn peeling == the weight-return cascade: a garbage object whose
+  // holders have all dropped it (or been reclaimed) gets its weight back.
+  std::vector<ProcessId> queue;
+  for (const auto& [p, d] : in_degree) {
+    if (d == 0) {
+      queue.push_back(p);
+    }
+  }
+  std::set<ProcessId> collectable;
+  while (!queue.empty()) {
+    const ProcessId p = queue.back();
+    queue.pop_back();
+    if (!collectable.insert(p).second) {
+      continue;
+    }
+    for (ProcessId q : refs_of(p)) {
+      if (garbage.contains(q) && --in_degree[q] == 0) {
+        queue.push_back(q);
+      }
+    }
+  }
+  return collectable;
+}
+
+void ReachabilityOracle::snapshot_at(
+    SimTime t, std::map<ProcessId, std::set<ProcessId>>& edges,
+    std::set<ProcessId>& roots) const {
+  for (const Event& ev : history_) {
+    if (ev.at > t) {
+      break;  // the log is appended in nondecreasing sim-time order
+    }
+    switch (ev.kind) {
+      case Event::Kind::kRoot:
+        roots.insert(ev.a);
+        edges[ev.a];
+        break;
+      case Event::Kind::kNode:
+        edges[ev.a];
+        break;
+      case Event::Kind::kEdge:
+        edges[ev.a].insert(ev.b);
+        break;
+      case Event::Kind::kUnedge:
+        edges[ev.a].erase(ev.b);
+        break;
+    }
+  }
+}
+
+std::set<ProcessId> ReachabilityOracle::reachable_at(SimTime t) const {
+  std::map<ProcessId, std::set<ProcessId>> edges;
+  std::set<ProcessId> roots;
+  snapshot_at(t, edges, roots);
+  return reach_from(roots, edges);
+}
+
+std::set<ProcessId> ReachabilityOracle::garbage_at(SimTime t) const {
+  std::map<ProcessId, std::set<ProcessId>> edges;
+  std::set<ProcessId> roots;
+  snapshot_at(t, edges, roots);
+  const std::set<ProcessId> seen = reach_from(roots, edges);
+  std::set<ProcessId> out;
+  for (const auto& [p, targets] : edges) {
+    (void)targets;
+    if (!seen.contains(p) && !roots.contains(p)) {
+      out.insert(p);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> ReachabilityOracle::safety_violations(
+    const std::set<ProcessId>& removed) const {
+  std::vector<std::string> out;
+  const std::set<ProcessId> seen = reachable();
+  for (ProcessId p : removed) {
+    if (seen.contains(p)) {
+      std::string holders;
+      for (const auto& [h, targets] : edges_) {
+        if (targets.contains(p)) {
+          holders += " " + h.str();
+        }
+      }
+      out.push_back("proc " + p.str() +
+                    " was removed but is reachable; holders:" + holders);
+    }
+  }
+  return out;
+}
+
+std::set<ProcessId> ReachabilityOracle::residual_garbage(
+    const std::set<ProcessId>& removed) const {
+  std::set<ProcessId> out;
+  for (ProcessId p : true_garbage()) {
+    if (!removed.contains(p)) {
+      out.insert(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace cgc

@@ -1,0 +1,122 @@
+// Ground-truth reachability oracle.
+//
+// Maintains the exact global object graph an omniscient observer would
+// see, independently of any garbage-detection engine. It can be fed two
+// ways:
+//
+//   * trace-level: `apply(op)` replays a `MutatorOp` with full mutator
+//     legality checks (an actor must be live, a forwarded or dropped
+//     reference must actually be held). Illegal ops are skipped and
+//     reported, which doubles as the trace normaliser the delta-debugging
+//     minimizer relies on.
+//   * delivered-edge level: `add_edge`/`remove_edge` driven by the GGD
+//     engine's delivery hooks, so that under message loss the ground
+//     truth counts exactly the edges that materialised (a dropped
+//     reference-passing packet never creates an edge).
+//
+// Every mutation is appended to a sim-time-stamped event log, so the
+// oracle answers live/garbage both for the current instant and
+// retroactively at any earlier sim time — the property the scenario-fuzz
+// verdicts are stated in.
+//
+// Mutator legality is load-bearing for the verdicts: because only live
+// processes act and a live actor can only grant references it holds (so
+// every granted target is itself reachable through the grantor), garbage
+// is stable — once unreachable, always unreachable. That is what makes
+// "removed while reachable" a safety violation no matter what happens
+// later, and a final-state reachability check sufficient.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+#include "workload/ops.hpp"
+
+namespace cgc {
+
+class ReachabilityOracle {
+ public:
+  // -- Direct graph mutation (delivered-truth feeding) ---------------------
+
+  void add_root(ProcessId id, SimTime at = 0);
+  /// Registers a non-root vertex with no edges yet (a newborn whose
+  /// creation message may still be in flight — or lost).
+  void add_node(ProcessId id, SimTime at = 0);
+  void add_edge(ProcessId holder, ProcessId target, SimTime at = 0);
+  void remove_edge(ProcessId holder, ProcessId target, SimTime at = 0);
+
+  // -- Trace-level application --------------------------------------------
+
+  /// Replays one mutator op with legality checks; returns false (and
+  /// changes nothing) when the op is illegal in the current state. Edges
+  /// materialise immediately — the fault-free, quiesced-delivery view.
+  bool apply(const MutatorOp& op, SimTime at = 0);
+
+  /// Keeps exactly the ops `apply` accepts, in order, starting from an
+  /// empty graph — the canonical form the minimizer shrinks over (illegal
+  /// remnants of a subsequence cut are dropped instead of aborting).
+  [[nodiscard]] static std::vector<MutatorOp> normalize(
+      const std::vector<MutatorOp>& ops);
+
+  // -- Queries (current state) --------------------------------------------
+
+  [[nodiscard]] bool knows(ProcessId id) const { return edges_.contains(id); }
+  [[nodiscard]] bool holds(ProcessId holder, ProcessId target) const;
+  [[nodiscard]] const std::set<ProcessId>& refs_of(ProcessId holder) const;
+  [[nodiscard]] std::set<ProcessId> reachable() const;
+  [[nodiscard]] bool live(ProcessId id) const {
+    return reachable().contains(id);
+  }
+  /// Non-root processes unreachable from every root, right now.
+  [[nodiscard]] std::set<ProcessId> true_garbage() const;
+  [[nodiscard]] const std::set<ProcessId>& roots() const { return roots_; }
+  [[nodiscard]] std::size_t node_count() const { return edges_.size(); }
+
+  /// What a (weighted) reference-counting collector can ever reclaim: the
+  /// garbage whose in-edges all drain by cascading drops — i.e. garbage
+  /// NOT kept pinned by a garbage cycle. Computed by peeling zero
+  /// in-degree vertices from the garbage-induced subgraph, which is
+  /// exactly the weight-return cascade of the WRC baseline.
+  [[nodiscard]] std::set<ProcessId> counting_collectable() const;
+
+  // -- Queries at an earlier sim time -------------------------------------
+
+  [[nodiscard]] std::set<ProcessId> reachable_at(SimTime t) const;
+  [[nodiscard]] std::set<ProcessId> garbage_at(SimTime t) const;
+
+  // -- Verdicts ------------------------------------------------------------
+
+  /// SAFETY: every process an engine removed must be garbage. Returns one
+  /// human-readable line per violation (empty = safe).
+  [[nodiscard]] std::vector<std::string> safety_violations(
+      const std::set<ProcessId>& removed) const;
+
+  /// COMPLETENESS: the true garbage an engine failed to reclaim.
+  [[nodiscard]] std::set<ProcessId> residual_garbage(
+      const std::set<ProcessId>& removed) const;
+
+ private:
+  struct Event {
+    enum class Kind : std::uint8_t { kRoot, kNode, kEdge, kUnedge };
+    SimTime at = 0;
+    Kind kind;
+    ProcessId a;
+    ProcessId b;
+  };
+
+  /// Rebuilds the graph as of sim time `t` from the event log.
+  void snapshot_at(SimTime t,
+                   std::map<ProcessId, std::set<ProcessId>>& edges,
+                   std::set<ProcessId>& roots) const;
+
+  std::vector<Event> history_;
+  std::map<ProcessId, std::set<ProcessId>> edges_;
+  std::set<ProcessId> roots_;
+};
+
+}  // namespace cgc

@@ -1,0 +1,253 @@
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "oracle/reachability_oracle.hpp"
+#include "scenario/spec.hpp"
+
+namespace cgc {
+
+std::string ScenarioSpec::describe() const {
+  std::ostringstream os;
+  os << std::string(to_string(cls)) << " seed=" << seed << " ops=" << num_ops
+     << " sites=" << num_sites << " mix=" << w_add_root << '/' << w_create
+     << '/' << w_link_own << '/' << w_link_third << '/' << w_drop
+     << " cycle_bias=" << cycle_bias << " teardown=" << teardown_fraction
+     << " drop=" << drop_rate << " dup=" << duplicate_rate << " lat=["
+     << min_latency << ',' << max_latency << ']'
+     << " flush=" << (flush == wire::FlushPolicy::kPerTick ? "per_tick"
+                                                           : "immediate")
+     << (paced ? " paced" : " burst");
+  return os.str();
+}
+
+ScenarioSpec spec_from_seed(std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.seed = seed;
+  spec.cls = static_cast<ScenarioClass>(
+      seed % static_cast<std::uint64_t>(ScenarioClass::kCount));
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  spec.num_ops = 60 + rng.below(120);
+  // Alternate the paper's one-site-per-process granularity with clustered
+  // sites (several processes per address space).
+  spec.num_sites = rng.chance(0.5) ? 0 : 4 + rng.below(12);
+  spec.teardown_fraction = 0.3 + rng.unit() * 0.7;
+  spec.min_latency = 1;
+  spec.max_latency = 1 + rng.below(6);  // >1 span = reordering in flight
+  spec.flush = rng.chance(0.25) ? wire::FlushPolicy::kImmediate
+                                : wire::FlushPolicy::kPerTick;
+  switch (spec.cls) {
+    case ScenarioClass::kTreeHeavy:
+      spec.w_create = 50;
+      spec.w_link_own = 5;
+      spec.w_link_third = 10;
+      spec.w_drop = 12;
+      spec.cycle_bias = 0.02;
+      break;
+    case ScenarioClass::kCycleHeavy:
+      spec.w_create = 22;
+      spec.w_link_own = 30;
+      spec.w_link_third = 22;
+      spec.w_drop = 10;
+      spec.cycle_bias = 0.55 + rng.unit() * 0.4;
+      break;
+    case ScenarioClass::kMixed:
+      spec.cycle_bias = rng.unit() * 0.5;
+      break;
+    case ScenarioClass::kFaultyLossy:
+      spec.cycle_bias = rng.unit() * 0.5;
+      spec.drop_rate = 0.05 + rng.unit() * 0.25;
+      break;
+    case ScenarioClass::kFaultyDupes:
+      spec.cycle_bias = rng.unit() * 0.5;
+      spec.duplicate_rate = 0.1 + rng.unit() * 0.6;
+      break;
+    case ScenarioClass::kBurstUnpaced:
+      spec.cycle_bias = rng.unit() * 0.4;
+      spec.paced = false;
+      break;
+    case ScenarioClass::kCount:
+      break;
+  }
+  return spec;
+}
+
+namespace {
+
+/// Generation-time mirror of the trace state: the oracle provides
+/// legality, and `fwd_depth` caps how many times one reference is
+/// re-forwarded (WRC halves the carried weight per forward, so unbounded
+/// chains would exhaust it).
+struct GenState {
+  ReachabilityOracle oracle;
+  std::vector<ProcessId> population;
+  std::map<std::pair<ProcessId, ProcessId>, std::uint32_t> fwd_depth;
+  std::uint64_t next_id = 0;
+
+  ProcessId fresh() { return ProcessId{++next_id}; }
+};
+
+constexpr std::uint32_t kMaxForwardDepth = 24;
+
+ProcessId pick(const std::vector<ProcessId>& v, Rng& rng) {
+  return v[rng.below(v.size())];
+}
+
+ProcessId pick(const std::set<ProcessId>& s, Rng& rng) {
+  auto it = s.begin();
+  std::advance(it, static_cast<long>(rng.below(s.size())));
+  return *it;
+}
+
+/// A random live process, preferring one with held references when
+/// `want_refs` is set. Returns invalid when none qualifies.
+ProcessId pick_live(const GenState& st, const std::set<ProcessId>& live,
+                    Rng& rng, bool want_refs) {
+  for (int attempts = 0; attempts < 24; ++attempts) {
+    const ProcessId p = pick(st.population, rng);
+    if (!live.contains(p)) {
+      continue;
+    }
+    if (!want_refs || !st.oracle.refs_of(p).empty()) {
+      return p;
+    }
+  }
+  return ProcessId{};
+}
+
+/// A random process reachable FROM `from` (excluding itself): the target
+/// of a cycle-closing self-introduction.
+ProcessId pick_descendant(const GenState& st, ProcessId from, Rng& rng) {
+  std::set<ProcessId> seen;
+  std::vector<ProcessId> stack{from};
+  while (!stack.empty()) {
+    const ProcessId p = stack.back();
+    stack.pop_back();
+    if (!seen.insert(p).second) {
+      continue;
+    }
+    for (ProcessId q : st.oracle.refs_of(p)) {
+      stack.push_back(q);
+    }
+  }
+  seen.erase(from);
+  if (seen.empty()) {
+    return ProcessId{};
+  }
+  return pick(seen, rng);
+}
+
+}  // namespace
+
+std::vector<MutatorOp> generate_trace(const ScenarioSpec& spec) {
+  Rng rng(spec.seed * 0xd1342543de82ef95ULL + 7);
+  GenState st;
+  std::vector<MutatorOp> ops;
+  ops.reserve(spec.num_ops + 32);
+
+  auto emit = [&](MutatorOp op) {
+    CGC_CHECK_MSG(st.oracle.apply(op), "generator produced an illegal op");
+    ops.push_back(op);
+  };
+
+  // Every scenario starts from at least one mutator entry point.
+  {
+    const ProcessId root = st.fresh();
+    emit({MutatorOp::Kind::kAddRoot, root, {}, {}});
+    st.population.push_back(root);
+  }
+
+  const std::uint64_t total_weight = spec.w_add_root + spec.w_create +
+                                     spec.w_link_own + spec.w_link_third +
+                                     spec.w_drop;
+  std::size_t attempts_left = spec.num_ops * 6;
+  while (ops.size() < spec.num_ops && attempts_left-- > 0) {
+    const std::set<ProcessId> live = st.oracle.reachable();
+    std::uint64_t dice = rng.below(total_weight);
+    if (dice < spec.w_add_root) {
+      if (st.oracle.roots().size() >= 3) {
+        continue;
+      }
+      const ProcessId root = st.fresh();
+      emit({MutatorOp::Kind::kAddRoot, root, {}, {}});
+      st.population.push_back(root);
+      continue;
+    }
+    dice -= spec.w_add_root;
+    if (dice < spec.w_create) {
+      const ProcessId creator = pick_live(st, live, rng, /*want_refs=*/false);
+      if (!creator.valid()) {
+        continue;
+      }
+      const ProcessId newborn = st.fresh();
+      emit({MutatorOp::Kind::kCreate, newborn, creator, {}});
+      st.population.push_back(newborn);
+      continue;
+    }
+    dice -= spec.w_create;
+    if (dice < spec.w_link_own) {
+      const ProcessId i = pick_live(st, live, rng, /*want_refs=*/true);
+      if (!i.valid()) {
+        continue;
+      }
+      // Cycle-closing: introduce i to one of its descendants (edge
+      // descendant -> i), the canonical ring-building move. Otherwise
+      // introduce i to a directly held target (a two-element sub-cycle).
+      const ProcessId j = rng.chance(spec.cycle_bias)
+                              ? pick_descendant(st, i, rng)
+                              : pick(st.oracle.refs_of(i), rng);
+      if (!j.valid() || j == i || st.oracle.holds(j, i)) {
+        continue;
+      }
+      emit({MutatorOp::Kind::kLinkOwn, i, j, {}});
+      // The new referrer holds a fresh (unforwarded) reference of i.
+      st.fwd_depth[{j, i}] = 0;
+      continue;
+    }
+    dice -= spec.w_link_own;
+    if (dice < spec.w_link_third) {
+      const ProcessId i = pick_live(st, live, rng, /*want_refs=*/true);
+      if (!i.valid() || st.oracle.refs_of(i).size() < 2) {
+        continue;
+      }
+      const ProcessId k = pick(st.oracle.refs_of(i), rng);
+      const ProcessId j = pick(st.oracle.refs_of(i), rng);
+      if (j == k || j == i || st.oracle.holds(j, k)) {
+        continue;
+      }
+      auto depth_it = st.fwd_depth.find({i, k});
+      const std::uint32_t depth =
+          depth_it == st.fwd_depth.end() ? 0 : depth_it->second;
+      if (depth >= kMaxForwardDepth) {
+        continue;
+      }
+      emit({MutatorOp::Kind::kLinkThird, i, j, k});
+      st.fwd_depth[{i, k}] = depth + 1;
+      st.fwd_depth[{j, k}] = std::max(st.fwd_depth[{j, k}], depth + 1);
+      continue;
+    }
+    dice -= spec.w_link_third;
+    {
+      const ProcessId j = pick_live(st, live, rng, /*want_refs=*/true);
+      if (!j.valid()) {
+        continue;
+      }
+      emit({MutatorOp::Kind::kDrop, j, pick(st.oracle.refs_of(j), rng), {}});
+    }
+  }
+
+  // Teardown: sever root-held references so the run ends with garbage for
+  // the engines to find (and the oracle to adjudicate).
+  for (ProcessId root : st.oracle.roots()) {
+    const std::set<ProcessId> held(st.oracle.refs_of(root));
+    for (ProcessId t : held) {
+      if (rng.chance(spec.teardown_fraction) && st.oracle.holds(root, t)) {
+        emit({MutatorOp::Kind::kDrop, root, t, {}});
+      }
+    }
+  }
+  return ops;
+}
+
+}  // namespace cgc

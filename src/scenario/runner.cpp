@@ -1,0 +1,339 @@
+#include "scenario/runner.hpp"
+
+#include <sstream>
+
+#include "common/rng.hpp"
+
+#include "baselines/schelvis/schelvis.hpp"
+#include "baselines/tracing/tracing.hpp"
+#include "baselines/wrc/wrc.hpp"
+#include "oracle/reachability_oracle.hpp"
+#include "workload/scenario.hpp"
+
+namespace cgc {
+
+namespace {
+
+std::string ids(const std::set<ProcessId>& s) {
+  std::string out = "{";
+  for (ProcessId p : s) {
+    out += " " + p.str();
+  }
+  return out + " }";
+}
+
+void snapshot_stats(EngineRun& run, const MessageStats& stats) {
+  run.control_msgs = stats.control_sent();
+  run.control_bytes = stats.control_bytes_sent();
+  run.total_msgs = stats.total_sent();
+  run.total_bytes = stats.total_bytes_sent();
+  run.packets_sent = stats.packets().sent;
+}
+
+/// Our GGD through the real Scenario stack: mutation under the spec's
+/// fault profile, then heal + periodic sweeps (the paper's fairness
+/// assumption: faults are transient, delivery is eventually fair).
+EngineRun run_ggd(const ScenarioSpec& spec, const std::vector<MutatorOp>& ops,
+                  LogKeepingMode mode) {
+  EngineRun run;
+  run.name = mode == LogKeepingMode::kRobust ? "ggd_robust" : "ggd_paper";
+  run.ran = true;
+  Scenario s(Scenario::Config{.net = spec.net_config(),
+                              .mode = mode,
+                              .num_sites = spec.num_sites});
+  Rng burst_rng(spec.seed * 0x2545f4914f6cdd1dULL + 1);
+  for (const MutatorOp& op : ops) {
+    if (!s.apply(op)) {
+      ++run.skipped_ops;
+    }
+    if (spec.paced) {
+      if (!s.run()) {
+        run.failures.push_back("simulator did not quiesce during mutation");
+        return run;
+      }
+    } else {
+      // Burst pacing: interleave mutation with bounded partial delivery —
+      // same-tick sends coalesce into shared packets and GGD cascades run
+      // concurrently with the mutator, without ever quiescing.
+      s.sim().run(burst_rng.below(48));
+    }
+  }
+  if (!s.run()) {
+    run.failures.push_back("simulator did not quiesce after mutation");
+    return run;
+  }
+  // Heal, then sweep: completeness is only promised under eventually-fair
+  // delivery, and the periodic sweep is what bounds detection latency.
+  s.net().set_drop_rate(0.0);
+  s.net().set_duplicate_rate(0.0);
+  if (!s.run_with_sweeps(16)) {
+    run.failures.push_back("simulator did not quiesce during sweeps");
+    return run;
+  }
+  run.removed = s.removed();
+  snapshot_stats(run, s.net().stats());
+  if (!s.safety_holds()) {
+    for (const std::string& v : s.violations()) {
+      run.failures.push_back("SAFETY: " + v);
+    }
+    for (const std::string& v :
+         s.oracle().safety_violations(s.removed())) {
+      run.failures.push_back("SAFETY: " + v);
+    }
+  }
+  const std::set<ProcessId> residual = s.residual_garbage();
+  if (!residual.empty()) {
+    run.failures.push_back("COMPLETENESS: residual garbage " + ids(residual));
+  }
+  return run;
+}
+
+/// Replays the trace on a baseline engine, paced (baselines model eager
+/// state at the sender; quiescing between ops is their delivery-fairness
+/// assumption), mirroring it into a trace-level oracle.
+template <typename Engine>
+EngineRun run_baseline(std::string name, const std::vector<MutatorOp>& ops,
+                       ReachabilityOracle& oracle, Engine& engine,
+                       Simulator& sim) {
+  EngineRun run;
+  run.name = std::move(name);
+  run.ran = true;
+  for (const MutatorOp& op : ops) {
+    CGC_CHECK_MSG(oracle.apply(op), "conformance trace must be legal");
+    engine.apply(op);
+    if (!sim.run()) {
+      run.failures.push_back("simulator did not quiesce");
+      return run;
+    }
+  }
+  return run;
+}
+
+}  // namespace
+
+bool has_regrant_after_drop(const std::vector<MutatorOp>& ops) {
+  std::set<std::pair<ProcessId, ProcessId>> dropped;
+  for (const MutatorOp& op : ops) {
+    switch (op.kind) {
+      case MutatorOp::Kind::kAddRoot:
+        break;
+      case MutatorOp::Kind::kCreate:
+      case MutatorOp::Kind::kLinkOwn:
+        if (dropped.contains({op.b, op.a})) {
+          return true;
+        }
+        break;
+      case MutatorOp::Kind::kLinkThird:
+        if (dropped.contains({op.recipient(), op.subject()})) {
+          return true;
+        }
+        break;
+      case MutatorOp::Kind::kDrop:
+        dropped.insert({op.a, op.b});
+        break;
+    }
+  }
+  return false;
+}
+
+bool ConformanceReport::ok() const {
+  if (!differential_failures.empty()) {
+    return false;
+  }
+  for (const EngineRun& run : engines) {
+    if (!run.ok()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ConformanceReport::summary() const {
+  std::ostringstream os;
+  os << "scenario " << spec.describe() << " (" << trace_ops << " ops, "
+     << true_garbage << " true garbage)";
+  for (const EngineRun& run : engines) {
+    for (const std::string& f : run.failures) {
+      os << "\n  [" << run.name << "] " << f;
+    }
+  }
+  for (const std::string& f : differential_failures) {
+    os << "\n  [differential] " << f;
+  }
+  return os.str();
+}
+
+ConformanceReport run_conformance(const ScenarioSpec& spec,
+                                  const std::vector<MutatorOp>& ops) {
+  ConformanceReport report;
+  report.spec = spec;
+  report.trace_ops = ops.size();
+
+  // Trace-level ground truth (fault-free, quiesced view of the trace).
+  ReachabilityOracle truth;
+  for (const MutatorOp& op : ops) {
+    CGC_CHECK_MSG(truth.apply(op), "conformance trace must be legal");
+  }
+  const std::set<ProcessId> garbage = truth.true_garbage();
+  const std::set<ProcessId> countable = truth.counting_collectable();
+  report.processes = truth.node_count();
+  report.true_garbage = garbage.size();
+
+  const bool fault_free = spec.drop_rate == 0.0 && spec.duplicate_rate == 0.0;
+
+  // -- Our GGD, robust log-keeping: runs under every profile. ------------
+  report.engines.push_back(
+      run_ggd(spec, ops, LogKeepingMode::kRobust));
+
+  // -- Our GGD, paper-exact log-keeping: fault-free FIFO contract. The
+  //    literal §3.4 rules do not bump the owner's counter on forwards, so
+  //    a row can change without its version advancing — under reordered
+  //    delivery a peer can then act on a stale-but-version-identical
+  //    replica (this is precisely the weakness robust mode closes, and
+  //    the fuzzer finds it). Paper-exact therefore runs with FIFO
+  //    latency; robust mode above takes the full fault profile. ---------
+  if (fault_free && !has_regrant_after_drop(ops)) {
+    ScenarioSpec fifo = spec;
+    fifo.max_latency = fifo.min_latency;
+    report.engines.push_back(run_ggd(fifo, ops, LogKeepingMode::kPaperExact));
+  }
+
+  // -- Tracing baseline: immune to faults (graph is inspected in situ). --
+  {
+    Simulator sim;
+    Network net(sim, spec.net_config());
+    TracingCollector engine(net);
+    ReachabilityOracle oracle;
+    EngineRun run = run_baseline("tracing", ops, oracle, engine, sim);
+    if (run.ok()) {
+      engine.run_cycle();
+      if (!sim.run()) {
+        run.failures.push_back("simulator did not quiesce after cycle");
+      }
+      for (ProcessId p : oracle.reachable()) {
+        if (engine.removed(p) && !oracle.roots().contains(p)) {
+          run.failures.push_back("SAFETY: live proc " + p.str() + " swept");
+        }
+      }
+      std::set<ProcessId> residual;
+      for (ProcessId p : oracle.true_garbage()) {
+        if (!engine.removed(p)) {
+          residual.insert(p);
+        }
+      }
+      if (!residual.empty()) {
+        run.failures.push_back("COMPLETENESS: residual " + ids(residual));
+      }
+    }
+    snapshot_stats(run, net.stats());
+    report.engines.push_back(std::move(run));
+  }
+
+  // -- Schelvis baseline: eager updates are load-bearing, so its contract
+  //    needs lossless delivery; and although duplicated probes are
+  //    guarded against double-removal, every duplicate FORKS a whole
+  //    continuing depth-first search — expected probe traffic grows as
+  //    (1+dup)^hops, so the contract also excludes duplication (the
+  //    harness found seeds where a 0.5 dup rate made the baseline take
+  //    minutes of simulated probe storms). Reordering is fine. ----------
+  if (fault_free) {
+    Simulator sim;
+    Network net(sim, spec.net_config());
+    SchelvisEngine engine(net);
+    ReachabilityOracle oracle;
+    EngineRun run = run_baseline("schelvis", ops, oracle, engine, sim);
+    if (run.ok()) {
+      for (ProcessId p : oracle.reachable()) {
+        if (engine.exists(p) && engine.removed(p)) {
+          run.failures.push_back("SAFETY: live proc " + p.str() + " removed");
+        }
+      }
+      std::set<ProcessId> residual;
+      for (ProcessId p : oracle.true_garbage()) {
+        if (!engine.exists(p) || !engine.removed(p)) {
+          residual.insert(p);
+        }
+      }
+      if (!residual.empty()) {
+        run.failures.push_back("COMPLETENESS: residual " + ids(residual));
+      }
+    }
+    snapshot_stats(run, net.stats());
+    report.engines.push_back(std::move(run));
+  }
+
+  // -- WRC baseline: weight returns are not idempotent, so its contract
+  //    excludes duplication; loss only costs completeness. --------------
+  if (spec.duplicate_rate == 0.0) {
+    Simulator sim;
+    Network net(sim, spec.net_config());
+    WrcEngine engine(net);
+    ReachabilityOracle oracle;
+    EngineRun run = run_baseline("wrc", ops, oracle, engine, sim);
+    if (run.ok()) {
+      for (ProcessId p : oracle.reachable()) {
+        if (engine.removed(p)) {
+          run.failures.push_back("SAFETY: live proc " + p.str() + " removed");
+        }
+      }
+      if (fault_free) {
+        // WRC's exact reach: everything the cascade can drain, nothing a
+        // garbage cycle pins (the §3 non-comprehensiveness boundary).
+        for (ProcessId p : countable) {
+          if (!engine.removed(p)) {
+            run.failures.push_back("COMPLETENESS: countable garbage " +
+                                   p.str() + " not reclaimed");
+          }
+        }
+        for (ProcessId p : garbage) {
+          if (!countable.contains(p) && engine.removed(p)) {
+            run.failures.push_back(
+                "MODEL: cycle-pinned garbage " + p.str() +
+                " reclaimed — counting cannot prove that");
+          }
+        }
+      }
+    }
+    snapshot_stats(run, net.stats());
+    report.engines.push_back(std::move(run));
+  }
+
+  // -- Differential: on fault-free scenarios every comprehensive engine
+  //    must reclaim exactly the oracle's true garbage. ------------------
+  if (fault_free) {
+    for (const EngineRun& run : report.engines) {
+      if (!run.ok()) {
+        continue;  // already reported above
+      }
+      if (run.name == "ggd_robust" || run.name == "ggd_paper") {
+        if (run.skipped_ops == 0 && run.removed != garbage) {
+          report.differential_failures.push_back(
+              run.name + " reclaimed " + ids(run.removed) +
+              " != oracle garbage " + ids(garbage));
+        }
+      }
+    }
+    // Robust and paper-exact log-keeping must agree op-for-op when both
+    // executed the full trace.
+    const EngineRun* robust = nullptr;
+    const EngineRun* paper = nullptr;
+    for (const EngineRun& run : report.engines) {
+      if (run.name == "ggd_robust") {
+        robust = &run;
+      }
+      if (run.name == "ggd_paper") {
+        paper = &run;
+      }
+    }
+    if (robust != nullptr && paper != nullptr && robust->ok() &&
+        paper->ok() && robust->skipped_ops == 0 && paper->skipped_ops == 0 &&
+        robust->removed != paper->removed) {
+      report.differential_failures.push_back(
+          "robust vs paper-exact log-keeping reclaimed different sets: " +
+          ids(robust->removed) + " vs " + ids(paper->removed));
+    }
+  }
+  return report;
+}
+
+}  // namespace cgc

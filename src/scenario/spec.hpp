@@ -1,0 +1,111 @@
+// Declarative scenario specification for the conformance fuzzer.
+//
+// A `ScenarioSpec` pins everything a run depends on — site layout,
+// workload mix, structural bias, fault profile, transport flush policy,
+// pacing — so that any failure reproduces from (spec, seed) alone. Specs
+// are usually derived from a single fuzz seed via `spec_from_seed`, which
+// sweeps the scenario classes deterministically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logkeeping/lazy_logkeeping.hpp"
+#include "net/network.hpp"
+#include "workload/ops.hpp"
+
+namespace cgc {
+
+/// Structural families the generator sweeps. The class picks the weight
+/// preset and fault profile; the seed picks everything else.
+enum class ScenarioClass : std::uint8_t {
+  kTreeHeavy,     // mostly creation: deep/wide acyclic structure
+  kCycleHeavy,    // dense back-edges and cycle-closing links
+  kMixed,         // balanced mix of all five op kinds
+  kFaultyLossy,   // mixed workload under packet loss (+ jitter)
+  kFaultyDupes,   // mixed workload under duplication (+ jitter)
+  kBurstUnpaced,  // mixed workload fired without quiescing (batching stress)
+  kCount,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(ScenarioClass c) {
+  switch (c) {
+    case ScenarioClass::kTreeHeavy:
+      return "tree_heavy";
+    case ScenarioClass::kCycleHeavy:
+      return "cycle_heavy";
+    case ScenarioClass::kMixed:
+      return "mixed";
+    case ScenarioClass::kFaultyLossy:
+      return "faulty_lossy";
+    case ScenarioClass::kFaultyDupes:
+      return "faulty_dupes";
+    case ScenarioClass::kBurstUnpaced:
+      return "burst_unpaced";
+    case ScenarioClass::kCount:
+      break;
+  }
+  return "?";
+}
+
+struct ScenarioSpec {
+  ScenarioClass cls = ScenarioClass::kMixed;
+  std::uint64_t seed = 1;
+
+  // Workload shape.
+  std::size_t num_ops = 120;
+  std::uint64_t num_sites = 0;  // 0 = one site per process
+  /// Relative weights of add-root / create / link-own / link-third / drop.
+  std::uint32_t w_add_root = 1;
+  std::uint32_t w_create = 30;
+  std::uint32_t w_link_own = 20;
+  std::uint32_t w_link_third = 25;
+  std::uint32_t w_drop = 15;
+  /// Probability that a link op closes a cycle (targets a descendant of
+  /// the actor) instead of linking held references — 0 keeps structures
+  /// tree-ish, 1 is maximally cyclic.
+  double cycle_bias = 0.3;
+  /// Fraction of root-held references severed after the mutation phase,
+  /// so every scenario ends with real garbage to detect.
+  double teardown_fraction = 0.6;
+
+  // Fault profile (applies during mutation; the verdict phase heals the
+  // network first, matching the paper's fairness assumption).
+  double drop_rate = 0.0;
+  double duplicate_rate = 0.0;
+  SimTime min_latency = 1;
+  SimTime max_latency = 4;
+
+  // Transport and pacing.
+  wire::FlushPolicy flush = wire::FlushPolicy::kPerTick;
+  /// Quiesce the simulator between mutator ops. Baselines always run
+  /// paced; this only affects the GGD runs (unpaced = batching stress).
+  bool paced = true;
+
+  [[nodiscard]] NetworkConfig net_config() const {
+    return NetworkConfig{.min_latency = min_latency,
+                         .max_latency = max_latency,
+                         .drop_rate = drop_rate,
+                         .duplicate_rate = duplicate_rate,
+                         .seed = seed,
+                         .flush = flush};
+  }
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Deterministically derives a full spec from one fuzz seed: the class
+/// cycles through `ScenarioClass`, and class-dependent knobs (op count,
+/// site layout, weights, fault rates, latency jitter) are drawn from an
+/// Rng forked off the seed.
+[[nodiscard]] ScenarioSpec spec_from_seed(std::uint64_t seed);
+
+/// Generates a mutator-legal trace for the spec: every op passes the
+/// `ReachabilityOracle` legality rules at generation time (actors live,
+/// forwarded/dropped references held), forward chains are depth-capped so
+/// weighted reference counting cannot exhaust its weight, and the
+/// teardown phase severs root references to manufacture garbage.
+[[nodiscard]] std::vector<MutatorOp> generate_trace(const ScenarioSpec& spec);
+
+}  // namespace cgc

@@ -42,6 +42,7 @@ void encode_body(Encoder& enc, const GgdControl& c) {
   enc.dependency_vector(m.v);
   enc.dependency_vector(m.self_row);
   enc.dependency_vector(m.behalf);
+  enc.row_map(m.behalf_rows);
   enc.row_map(m.rows);
   enc.process_set(m.dead);
   std::uint8_t flags = 0;
@@ -60,6 +61,7 @@ GgdControl decode_ggd_control(Decoder& dec) {
   m.v = dec.dependency_vector();
   m.self_row = dec.dependency_vector();
   m.behalf = dec.dependency_vector();
+  m.behalf_rows = dec.row_map();
   m.rows = dec.row_map();
   m.dead = dec.process_set();
   const std::uint8_t flags = dec.u8();

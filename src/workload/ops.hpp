@@ -23,6 +23,20 @@ struct MutatorOp {
   ProcessId a;
   ProcessId b;
   ProcessId c;
+
+  /// The process performing the operation (whose mutator code runs):
+  /// the newborn's creator for kCreate, `a` everywhere else.
+  [[nodiscard]] ProcessId actor() const {
+    return kind == Kind::kCreate ? b : a;
+  }
+  /// kLinkThird only: who forwards, who receives, and whose reference is
+  /// being forwarded. The a/b/c slots are a compact fixed layout; these
+  /// accessors spell out who is who so call sites cannot mix them up.
+  [[nodiscard]] ProcessId forwarder() const { return a; }
+  [[nodiscard]] ProcessId recipient() const { return b; }
+  [[nodiscard]] ProcessId subject() const { return c; }
+
+  [[nodiscard]] bool operator==(const MutatorOp&) const = default;
 };
 
 /// Builder for mutator traces with sequential ids (one site per object,
@@ -42,8 +56,15 @@ class TraceBuilder {
   void link_own(ProcessId a, ProcessId b) {
     ops_.push_back({MutatorOp::Kind::kLinkOwn, a, b, {}});
   }
-  void link_third(ProcessId a, ProcessId c, ProcessId b) {
-    ops_.push_back({MutatorOp::Kind::kLinkThird, a, b, c});
+  /// `forwarder` hands its held reference of `subject` to `recipient`
+  /// (edge recipient -> subject). The parameter order is the sentence
+  /// order "A forwards S to R" — note it deliberately differs from the
+  /// stored {a, b, c} slot order, which keeps `recipient` in the same
+  /// slot (`b`) that receives the reference in every other op kind.
+  void link_third(ProcessId forwarder, ProcessId subject,
+                  ProcessId recipient) {
+    ops_.push_back({MutatorOp::Kind::kLinkThird, forwarder, recipient,
+                    subject});
   }
   void drop(ProcessId a, ProcessId b) {
     ops_.push_back({MutatorOp::Kind::kDrop, a, b, {}});

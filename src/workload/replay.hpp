@@ -40,30 +40,13 @@ inline void replay_on_engine(GgdEngine& e, const std::vector<MutatorOp>& ops,
   sim.run();
 }
 
+/// Strict scenario replay for known-good traces: every op must execute
+/// (the trace is mutator-legal and delivery is quiesced between ops).
+/// `Scenario::apply` is the lenient sibling that skips instead.
 inline void replay_on_scenario(Scenario& s, const std::vector<MutatorOp>& ops,
                                bool quiesce_between = true) {
   for (const MutatorOp& op : ops) {
-    switch (op.kind) {
-      case MutatorOp::Kind::kAddRoot: {
-        const ProcessId id = s.add_root();
-        CGC_CHECK_MSG(id == op.a, "trace replay id mismatch");
-        break;
-      }
-      case MutatorOp::Kind::kCreate: {
-        const ProcessId id = s.create(op.b);
-        CGC_CHECK_MSG(id == op.a, "trace replay id mismatch");
-        break;
-      }
-      case MutatorOp::Kind::kLinkOwn:
-        s.send_own_ref(op.a, op.b);
-        break;
-      case MutatorOp::Kind::kLinkThird:
-        s.send_third_party_ref(op.a, op.c, op.b);
-        break;
-      case MutatorOp::Kind::kDrop:
-        s.drop_ref(op.a, op.b);
-        break;
-    }
+    CGC_CHECK_MSG(s.apply(op), "trace replay: op preconditions unmet");
     if (quiesce_between) {
       s.run();
     }

@@ -1,23 +1,25 @@
 // Scenario: a GGD engine plus an omniscient ground truth.
 //
-// Every mutator-level operation is mirrored into a ground-truth adjacency
-// (edges materialise at message *delivery*, so dropped reference-passing
-// messages never count), giving the tests and benches an oracle for true
-// reachability that the distributed algorithm under test cannot see.
+// The ground truth is a `ReachabilityOracle` fed at message *delivery*
+// (edges materialise when the reference-passing packet arrives, so a
+// dropped packet never counts), giving tests and benches an oracle for
+// true reachability that the distributed algorithm under test cannot see.
 //
 // The mutator API enforces what a real mutator could do: a process can
 // only forward or drop references it actually holds.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "ggd/engine.hpp"
 #include "net/network.hpp"
+#include "oracle/reachability_oracle.hpp"
 #include "sim/simulator.hpp"
+#include "workload/ops.hpp"
 
 namespace cgc {
 
@@ -34,18 +36,18 @@ class Scenario {
   explicit Scenario(Config config)
       : config_(config), net_(sim_, config.net), engine_(net_, config.mode) {
     engine_.set_on_ref_delivered([this](ProcessId holder, ProcessId target) {
-      edges_[holder].insert(target);
+      oracle_.add_edge(holder, target, sim_.now());
     });
     engine_.set_on_removed([this](ProcessId p) {
       removed_.insert(p);
       // Tripwire: garbage is stable, so a removal of a currently reachable
       // process is a safety violation no matter what happens later. Record
       // the offender's state at the instant of the decision.
-      if (reachable().contains(p)) {
+      if (oracle_.live(p)) {
         const GgdProcess& gp = engine_.process(p);
         std::string holders;
-        for (const auto& [h, targets] : edges_) {
-          if (targets.contains(p)) {
+        for (ProcessId h : oracle_.reachable()) {
+          if (oracle_.holds(h, p)) {
             holders += " " + h.str();
           }
         }
@@ -61,8 +63,7 @@ class Scenario {
   ProcessId add_root() {
     const ProcessId id = next_id();
     engine_.add_process(id, site_for(id), /*is_root=*/true);
-    roots_.insert(id);
-    edges_[id];
+    oracle_.add_root(id, sim_.now());
     return id;
   }
 
@@ -71,7 +72,7 @@ class Scenario {
   ProcessId create(ProcessId creator, bool is_root = false) {
     const ProcessId id = next_id();
     engine_.create_object(creator, id, site_for(id), is_root);
-    edges_[id];
+    oracle_.add_node(id, sim_.now());
     return id;
   }
 
@@ -90,8 +91,58 @@ class Scenario {
   /// `j` drops its held reference of `k`.
   void drop_ref(ProcessId j, ProcessId k) {
     CGC_CHECK_MSG(holds(j, k), "mutator cannot drop a reference it lacks");
-    edges_[j].erase(k);
+    oracle_.remove_edge(j, k, sim_.now());
     engine_.drop_ref(j, k);
+  }
+
+  /// Replays one system-neutral trace op, honouring the op's explicit ids
+  /// (so gappy minimized traces replay unchanged). Ops whose preconditions
+  /// do not hold in the *delivered* state — an actor that never became
+  /// reachable here, a reference whose carrying packet was lost or is
+  /// still in flight — are skipped deterministically and return false.
+  bool apply(const MutatorOp& op) {
+    switch (op.kind) {
+      case MutatorOp::Kind::kAddRoot:
+        if (oracle_.knows(op.a)) {
+          return false;
+        }
+        bump_counter(op.a);
+        engine_.add_process(op.a, site_for(op.a), /*is_root=*/true);
+        oracle_.add_root(op.a, sim_.now());
+        return true;
+      case MutatorOp::Kind::kCreate:
+        if (oracle_.knows(op.a) || !delivered_live(op.b)) {
+          return false;
+        }
+        bump_counter(op.a);
+        engine_.create_object(op.b, op.a, site_for(op.a), /*is_root=*/false);
+        oracle_.add_node(op.a, sim_.now());
+        return true;
+      case MutatorOp::Kind::kLinkOwn:
+        if (op.a == op.b || !delivered_live(op.a) || !oracle_.knows(op.b) ||
+            engine_.process(op.b).removed()) {
+          return false;
+        }
+        send_own_ref(op.a, op.b);
+        return true;
+      case MutatorOp::Kind::kLinkThird:
+        if (op.recipient() == op.subject() ||
+            !delivered_live(op.forwarder()) ||
+            !holds(op.forwarder(), op.subject()) ||
+            !oracle_.knows(op.recipient()) ||
+            engine_.process(op.recipient()).removed()) {
+          return false;
+        }
+        send_third_party_ref(op.forwarder(), op.subject(), op.recipient());
+        return true;
+      case MutatorOp::Kind::kDrop:
+        if (!delivered_live(op.a) || !holds(op.a, op.b)) {
+          return false;
+        }
+        drop_ref(op.a, op.b);
+        return true;
+    }
+    return false;
   }
 
   /// Runs the simulation to quiescence (or until `max_events`).
@@ -111,13 +162,19 @@ class Scenario {
     std::size_t idle_rounds = 0;
     for (std::size_t r = 0; r < rounds && idle_rounds < 2; ++r) {
       const std::size_t before = removed_.size();
+      const bool had_pending = engine_.pending_destruction_count() > 0;
       engine_.periodic_sweep();
       if (!sim_.run(max_events)) {
         return false;
       }
-      // One idle sweep can still have planted inquiries whose answers
-      // enable the next; stop only after two consecutive idle rounds.
-      idle_rounds = removed_.size() == before ? idle_rounds + 1 : 0;
+      // A round is progress if it removed something or had lost
+      // destructions to re-emit. Steady-state verification inquiries do
+      // NOT count — a live structure re-verifies its evidence every
+      // round, which would otherwise defeat the early stop. Two idle
+      // rounds (not one) because a round's replies can seed the walk
+      // that only concludes in the next.
+      const bool progressed = removed_.size() != before || had_pending;
+      idle_rounds = progressed ? 0 : idle_rounds + 1;
     }
     return true;
   }
@@ -125,48 +182,21 @@ class Scenario {
   // -- Oracle -------------------------------------------------------------
 
   [[nodiscard]] bool holds(ProcessId holder, ProcessId target) const {
-    auto it = edges_.find(holder);
-    return it != edges_.end() && it->second.contains(target);
+    return oracle_.holds(holder, target);
   }
 
   [[nodiscard]] const std::set<ProcessId>& refs_of(ProcessId holder) const {
-    static const std::set<ProcessId> kEmpty;
-    auto it = edges_.find(holder);
-    return it == edges_.end() ? kEmpty : it->second;
+    return oracle_.refs_of(holder);
   }
 
   /// True reachability over delivered edges, from the actual roots.
   [[nodiscard]] std::set<ProcessId> reachable() const {
-    std::set<ProcessId> seen;
-    std::vector<ProcessId> stack(roots_.begin(), roots_.end());
-    while (!stack.empty()) {
-      const ProcessId p = stack.back();
-      stack.pop_back();
-      if (!seen.insert(p).second) {
-        continue;
-      }
-      auto it = edges_.find(p);
-      if (it == edges_.end()) {
-        continue;
-      }
-      for (ProcessId q : it->second) {
-        stack.push_back(q);
-      }
-    }
-    return seen;
+    return oracle_.reachable();
   }
 
   /// Processes the oracle knows are garbage right now.
   [[nodiscard]] std::set<ProcessId> true_garbage() const {
-    std::set<ProcessId> out;
-    const std::set<ProcessId> live = reachable();
-    for (const auto& [p, targets] : edges_) {
-      (void)targets;
-      if (!live.contains(p) && !roots_.contains(p)) {
-        out.insert(p);
-      }
-    }
-    return out;
+    return oracle_.true_garbage();
   }
 
   /// SAFETY: no process removed by GGD was reachable from a root at the
@@ -174,16 +204,8 @@ class Scenario {
   /// stable, so a reachable removal is wrong no matter when it is caught),
   /// and none is reachable now.
   [[nodiscard]] bool safety_holds() const {
-    if (!violations_.empty()) {
-      return false;
-    }
-    const std::set<ProcessId> live = reachable();
-    for (ProcessId p : removed_) {
-      if (live.contains(p)) {
-        return false;
-      }
-    }
-    return true;
+    return violations_.empty() &&
+           oracle_.safety_violations(removed_).empty();
   }
 
   /// Details of any removals of reachable processes, captured at decision
@@ -196,25 +218,37 @@ class Scenario {
   /// Guaranteed only under fault-free fair delivery; with faults the
   /// difference is residual garbage (paper §1).
   [[nodiscard]] std::set<ProcessId> residual_garbage() const {
-    std::set<ProcessId> out;
-    for (ProcessId p : true_garbage()) {
-      if (!removed_.contains(p)) {
-        out.insert(p);
-      }
-    }
-    return out;
+    return oracle_.residual_garbage(removed_);
   }
 
   [[nodiscard]] const std::set<ProcessId>& removed() const { return removed_; }
-  [[nodiscard]] const std::set<ProcessId>& roots() const { return roots_; }
-  [[nodiscard]] std::size_t process_count() const { return edges_.size(); }
+  [[nodiscard]] const std::set<ProcessId>& roots() const {
+    return oracle_.roots();
+  }
+  [[nodiscard]] std::size_t process_count() const {
+    return oracle_.node_count();
+  }
 
+  [[nodiscard]] const ReachabilityOracle& oracle() const { return oracle_; }
   [[nodiscard]] Simulator& sim() { return sim_; }
   [[nodiscard]] Network& net() { return net_; }
   [[nodiscard]] GgdEngine& engine() { return engine_; }
 
  private:
   ProcessId next_id() { return ProcessId{++id_counter_}; }
+  void bump_counter(ProcessId id) {
+    id_counter_ = std::max(id_counter_, id.value());
+  }
+
+  /// Delivered-truth liveness: the actor's code can run here only if the
+  /// actor became reachable in THIS run (its reference actually arrived).
+  /// An engine-removed actor is also excluded — if the removal was wrong
+  /// the tripwire has already recorded it, and the run must survive to
+  /// report rather than crash inside the removed process.
+  [[nodiscard]] bool delivered_live(ProcessId p) const {
+    return oracle_.knows(p) && !engine_.process(p).removed() &&
+           oracle_.live(p);
+  }
 
   SiteId site_for(ProcessId p) const {
     if (config_.num_sites == 0) {
@@ -228,8 +262,7 @@ class Scenario {
   Network net_;
   GgdEngine engine_;
   std::uint64_t id_counter_ = 0;
-  std::map<ProcessId, std::set<ProcessId>> edges_;
-  std::set<ProcessId> roots_;
+  ReachabilityOracle oracle_;
   std::set<ProcessId> removed_;
   std::vector<std::string> violations_;
 };

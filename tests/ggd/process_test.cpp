@@ -88,8 +88,8 @@ TEST(GgdProcess, WalkBlocksOnUnknownPredecessor) {
   LazyLogKeeping lk;
   lk.on_receive_ref(p, P(9));           // outgoing edge, irrelevant
   p.log().self_row().increment(P(7));   // live in-edge from unknown 7
-  std::set<ProcessId> missing, evidence;
-  EXPECT_EQ(p.walk_to_root(roots({1}), missing, evidence),
+  std::set<ProcessId> missing, evidence, consulted;
+  EXPECT_EQ(p.walk_to_root(roots({1}), missing, evidence, consulted),
             GgdProcess::WalkResult::kBlocked);
   EXPECT_TRUE(missing.contains(P(7)));
 }
@@ -103,8 +103,8 @@ TEST(GgdProcess, WalkFollowsKnownRowsToRoot) {
   v2.set(P(2), Timestamp::creation(1));
   DependencyVector row2 = v2;
   (void)p.receive(vector_msg(P(2), P(3), v2, row2), roots({1}));
-  std::set<ProcessId> missing, evidence;
-  EXPECT_EQ(p.walk_to_root(roots({1}), missing, evidence),
+  std::set<ProcessId> missing, evidence, consulted;
+  EXPECT_EQ(p.walk_to_root(roots({1}), missing, evidence, consulted),
             GgdProcess::WalkResult::kReachable);
 }
 
@@ -127,8 +127,8 @@ TEST(GgdProcess, MultiEdgeMaskingIsPerEdge) {
 
   EXPECT_FALSE(p.removed())
       << "E(9) for edge 1->3 must not mask live edge 1->2 at index 1";
-  std::set<ProcessId> missing, evidence;
-  EXPECT_EQ(p.walk_to_root(roots({1}), missing, evidence),
+  std::set<ProcessId> missing, evidence, consulted;
+  EXPECT_EQ(p.walk_to_root(roots({1}), missing, evidence, consulted),
             GgdProcess::WalkResult::kReachable);
 }
 
@@ -172,7 +172,7 @@ TEST(GgdProcess, RemoveSelfSendsDestructionToEveryAcquaintance) {
   }
 }
 
-TEST(GgdProcess, DeadEntriesAreElided) {
+TEST(GgdProcess, DeadHoldersFinalBundleCompletesTheRemoval) {
   GgdProcess p(P(3), false);
   p.log().self_row().increment(P(2));  // live in-edge from 2
   GgdMessage death;
@@ -180,9 +180,26 @@ TEST(GgdProcess, DeadEntriesAreElided) {
   death.to = P(3);
   death.dead.insert(P(2));
   death.reply = true;
-  (void)p.receive(death, roots({1}));
-  // The edge from dead 2 no longer counts; with nothing else, the process
-  // is unreachable (and removes itself on that very receive).
+  const auto out = p.receive(death, roots({1}));
+  // A relayed death certificate alone must NOT resolve the still-live
+  // slot: the corpse's final destruction bundle may carry a deferred
+  // rescue grant (§3.4). The process blocks and asks 2's site for the
+  // posthumous bundle instead.
+  EXPECT_FALSE(p.removed());
+  bool asked = false;
+  for (const GgdMessage& m : out) {
+    asked = asked || (m.inquiry && m.to == P(2));
+  }
+  EXPECT_TRUE(asked) << "blocked walk must fetch the posthumous bundle";
+
+  // The posthumous bundle arrives (no deferred grants): now the edge from
+  // dead 2 is finally resolved and the process removes itself.
+  GgdMessage bundle;
+  bundle.from = P(2);
+  bundle.to = P(3);
+  bundle.v.set(P(2), Timestamp::destruction(5));
+  bundle.dead.insert(P(2));
+  (void)p.receive(bundle, roots({1}));
   EXPECT_TRUE(p.removed());
 }
 

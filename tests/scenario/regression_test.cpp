@@ -1,0 +1,113 @@
+// Regression traces minimized by the scenario fuzzer (each printed by
+// `format_regression_test` from a failing seed and pasted here verbatim,
+// modulo comments). Every one of these reproduced a real engine defect
+// when found; they lock the fixes:
+//
+//   seed 14   — a stale replica row combined with newer death knowledge
+//               "proved" a live chain dead (replica-confirmation fix).
+//   seed 73   — a lazily-deferred third-party edge to a root was
+//               invisible to the holder's own walk (behalf overlay fix).
+//   seed 235  — a removal-cascade bundle classified as a stale
+//               destruction dropped its deferred edge facts, and death
+//               certificates raced final bundles (posthumous bundles).
+//   seed 1561 — a re-granted edge's behalf index collided with the old
+//               destruction marker inside the walk overlay (inquiries
+//               now carry the behalf row for adjudication).
+#include <gtest/gtest.h>
+
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace cgc {
+namespace {
+
+ProcessId P(std::uint64_t v) { return ProcessId{v}; }
+
+TEST(ScenarioRegression, Seed14) {
+  ScenarioSpec spec = spec_from_seed(14ULL);
+  const std::vector<MutatorOp> ops = {
+      {MutatorOp::Kind::kAddRoot, P(1), {}, {}},
+      {MutatorOp::Kind::kCreate, P(4), P(1), {}},
+      {MutatorOp::Kind::kLinkOwn, P(1), P(4), {}},
+      {MutatorOp::Kind::kCreate, P(12), P(1), {}},
+      {MutatorOp::Kind::kCreate, P(14), P(12), {}},
+      {MutatorOp::Kind::kLinkThird, P(1), P(12), P(4)},
+      {MutatorOp::Kind::kCreate, P(21), P(12), {}},
+      {MutatorOp::Kind::kLinkOwn, P(4), P(21), {}},
+      {MutatorOp::Kind::kDrop, P(1), P(4), {}},
+      {MutatorOp::Kind::kCreate, P(28), P(21), {}},
+      {MutatorOp::Kind::kCreate, P(29), P(14), {}},
+      {MutatorOp::Kind::kCreate, P(33), P(1), {}},
+      {MutatorOp::Kind::kLinkOwn, P(21), P(29), {}},
+      {MutatorOp::Kind::kLinkOwn, P(14), P(28), {}},
+      {MutatorOp::Kind::kCreate, P(44), P(33), {}},
+      {MutatorOp::Kind::kLinkOwn, P(28), P(44), {}},
+      {MutatorOp::Kind::kDrop, P(1), P(12), {}},
+  };
+  const ConformanceReport report = run_conformance(spec, ops);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(ScenarioRegression, Seed73) {
+  ScenarioSpec spec = spec_from_seed(73ULL);
+  const std::vector<MutatorOp> ops = {
+      {MutatorOp::Kind::kAddRoot, P(1), {}, {}},
+      {MutatorOp::Kind::kCreate, P(11), P(1), {}},
+      {MutatorOp::Kind::kCreate, P(13), P(11), {}},
+      {MutatorOp::Kind::kLinkOwn, P(11), P(13), {}},
+      {MutatorOp::Kind::kCreate, P(14), P(1), {}},
+      {MutatorOp::Kind::kLinkThird, P(1), P(14), P(11)},
+      {MutatorOp::Kind::kDrop, P(1), P(11), {}},
+      {MutatorOp::Kind::kLinkThird, P(11), P(1), P(13)},
+      {MutatorOp::Kind::kDrop, P(14), P(11), {}},
+  };
+  const ConformanceReport report = run_conformance(spec, ops);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(ScenarioRegression, Seed235) {
+  ScenarioSpec spec = spec_from_seed(235ULL);
+  const std::vector<MutatorOp> ops = {
+      {MutatorOp::Kind::kAddRoot, P(4), {}, {}},
+      {MutatorOp::Kind::kCreate, P(5), P(4), {}},
+      {MutatorOp::Kind::kCreate, P(7), P(5), {}},
+      {MutatorOp::Kind::kLinkOwn, P(7), P(4), {}},
+      {MutatorOp::Kind::kCreate, P(12), P(7), {}},
+      {MutatorOp::Kind::kDrop, P(4), P(5), {}},
+      {MutatorOp::Kind::kCreate, P(15), P(7), {}},
+      {MutatorOp::Kind::kCreate, P(16), P(7), {}},
+      {MutatorOp::Kind::kLinkOwn, P(4), P(12), {}},
+      {MutatorOp::Kind::kCreate, P(17), P(12), {}},
+      {MutatorOp::Kind::kLinkThird, P(12), P(17), P(4)},
+      {MutatorOp::Kind::kLinkOwn, P(4), P(15), {}},
+      {MutatorOp::Kind::kCreate, P(19), P(17), {}},
+      {MutatorOp::Kind::kLinkOwn, P(17), P(7), {}},
+      {MutatorOp::Kind::kCreate, P(20), P(16), {}},
+      {MutatorOp::Kind::kDrop, P(17), P(4), {}},
+      {MutatorOp::Kind::kLinkThird, P(12), P(4), P(17)},
+      {MutatorOp::Kind::kCreate, P(29), P(7), {}},
+      {MutatorOp::Kind::kCreate, P(30), P(29), {}},
+      {MutatorOp::Kind::kDrop, P(4), P(7), {}},
+  };
+  const ConformanceReport report = run_conformance(spec, ops);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(ScenarioRegression, Seed1561) {
+  ScenarioSpec spec = spec_from_seed(1561ULL);
+  const std::vector<MutatorOp> ops = {
+      {MutatorOp::Kind::kAddRoot, P(1), {}, {}},
+      {MutatorOp::Kind::kCreate, P(2), P(1), {}},
+      {MutatorOp::Kind::kCreate, P(5), P(2), {}},
+      {MutatorOp::Kind::kLinkOwn, P(2), P(5), {}},
+      {MutatorOp::Kind::kLinkOwn, P(5), P(1), {}},
+      {MutatorOp::Kind::kDrop, P(1), P(2), {}},
+      {MutatorOp::Kind::kLinkThird, P(5), P(1), P(2)},
+      {MutatorOp::Kind::kDrop, P(1), P(5), {}},
+  };
+  const ConformanceReport report = run_conformance(spec, ops);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+}  // namespace
+}  // namespace cgc

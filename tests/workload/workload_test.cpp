@@ -133,6 +133,57 @@ TEST(Traces, LiveAndGarbageCounts) {
   EXPECT_EQ(s.true_garbage().size(), 3u);
 }
 
+TEST(Traces, LinkThirdArgumentOrderRoundTrips) {
+  // Locks the TraceBuilder::link_third semantics: the call reads in
+  // sentence order "forwarder forwards subject to recipient", while the
+  // stored MutatorOp keeps the recipient in slot b like every other op.
+  // The named accessors and a full replay pin both mappings.
+  TraceBuilder t;
+  const ProcessId root = t.add_root();
+  const ProcessId a = t.create(root);
+  const ProcessId b = t.create(root);
+  t.link_third(root, a, b);  // root forwards its ref of a to b
+
+  const MutatorOp& op = t.ops().back();
+  EXPECT_EQ(op.kind, MutatorOp::Kind::kLinkThird);
+  EXPECT_EQ(op.forwarder(), root);
+  EXPECT_EQ(op.subject(), a);
+  EXPECT_EQ(op.recipient(), b);
+  EXPECT_EQ(op.actor(), root);
+  // Slot layout: recipient rides in b, subject in c.
+  EXPECT_EQ(op.a, root);
+  EXPECT_EQ(op.b, b);
+  EXPECT_EQ(op.c, a);
+
+  // Round trip through a real replay: the edge must be b -> a (recipient
+  // holds subject), nothing else.
+  Scenario s(quiet(20));
+  replay_on_scenario(s, t.ops());
+  EXPECT_TRUE(s.holds(b, a)) << "recipient must hold the forwarded subject";
+  EXPECT_FALSE(s.holds(a, b));
+  EXPECT_FALSE(s.holds(b, root));
+}
+
+TEST(Scenario, ApplySkipsOpsWhosePreconditionsNeverMaterialised) {
+  // Lenient replay: a gappy (minimized) trace with explicit ids executes,
+  // and an op referencing a reference that never arrived is skipped
+  // deterministically instead of aborting.
+  Scenario s(quiet(21));
+  const auto P = [](std::uint64_t v) { return ProcessId{v}; };
+  EXPECT_TRUE(s.apply({MutatorOp::Kind::kAddRoot, P(1), {}, {}}));
+  s.run();
+  EXPECT_TRUE(s.apply({MutatorOp::Kind::kCreate, P(7), P(1), {}}));
+  s.run();
+  EXPECT_FALSE(s.apply({MutatorOp::Kind::kCreate, P(9), P(4), {}}))
+      << "unknown creator";
+  EXPECT_FALSE(s.apply({MutatorOp::Kind::kDrop, P(7), P(1), {}}))
+      << "7 never held 1";
+  EXPECT_TRUE(s.apply({MutatorOp::Kind::kDrop, P(1), P(7), {}}));
+  s.run_with_sweeps();
+  EXPECT_TRUE(s.safety_holds());
+  EXPECT_TRUE(s.removed().contains(P(7)));
+}
+
 TEST(Scenario, SafetyAccountingIsConsistent) {
   // safety_holds() must agree with the oracle when everything behaved.
   Scenario s(quiet(10));
