@@ -9,6 +9,16 @@
 
 #include "metrics/message_stats.hpp"
 
+// Build provenance baked in by CMake: which commit and build type
+// produced a BENCH_*.json. CI uploads these files as artifacts, so
+// without the stamp a downloaded number is unattributable.
+#ifndef CGC_GIT_COMMIT
+#define CGC_GIT_COMMIT "unknown"
+#endif
+#ifndef CGC_BUILD_TYPE
+#define CGC_BUILD_TYPE "unknown"
+#endif
+
 namespace cgc::benchjson {
 
 class Json {
@@ -64,6 +74,19 @@ class Json {
   bool first_ = true;
   bool inline_value_ = false;
 };
+
+/// Emits the provenance object every bench JSON carries ("meta": git
+/// commit + CMake build type). Call once per file, right after the
+/// "bench" name key.
+inline void write_provenance(Json& json) {
+  json.key("meta");
+  json.open('{');
+  json.key("commit");
+  json.value(std::string(CGC_GIT_COMMIT));
+  json.key("build_type");
+  json.value(std::string(CGC_BUILD_TYPE));
+  json.close('}');
+}
 
 inline void write_kind_counters(Json& json, const MessageStats& stats) {
   json.key("kinds");

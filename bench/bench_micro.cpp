@@ -49,7 +49,7 @@ void BM_WalkToRoot(benchmark::State& state) {
   GgdProcess p = make_loaded_process(static_cast<std::size_t>(state.range(0)));
   const auto is_root = [](ProcessId) { return false; };
   for (auto _ : state) {
-    std::set<ProcessId> missing, evidence, consulted;
+    FlatSet<ProcessId> missing, evidence, consulted;
     benchmark::DoNotOptimize(p.walk_to_root(is_root, missing, evidence, consulted));
   }
   state.SetComplexityN(state.range(0));

@@ -53,6 +53,7 @@ void emit_transport_bench(const std::string& path) {
   json.open('{');
   json.key("bench");
   json.value(std::string("transport"));
+  benchjson::write_provenance(json);
   json.key("workloads");
   json.open('{');
 
@@ -101,6 +102,7 @@ void emit_logkeeping_bench(const std::string& path) {
   json.open('{');
   json.key("bench");
   json.value(std::string("logkeeping"));
+  benchjson::write_provenance(json);
   json.key("workloads");
   json.open('{');
   for (std::size_t f : {64u, 256u, 1024u}) {

@@ -1,0 +1,291 @@
+// Scale tier: hundreds of sites, tens of thousands of processes,
+// sustained mutator churn — the regime the ROADMAP's "millions of users"
+// north star extrapolates from, and the workload the dense-core refactor
+// (interned ids, flat dependency vectors, allocation-free event heap) is
+// aimed at.
+//
+// Drives the GgdEngine directly (no omniscient oracle in the loop — its
+// O(V) reachability recheck per removal would dominate the numbers) and
+// reports, per configuration:
+//   * events/sec        — simulator event throughput, wall-clock
+//   * bytes/reclaimed   — wire bytes paid per collected object
+//   * peak RSS          — VmHWM from /proc/self/status (kB; 0 if absent)
+// into BENCH_scale.json next to the other machine-readable bench files.
+//
+// `bench_scale --quick` runs only the smallest configuration — the CI
+// budget; the full ladder is the local/perf-lab run.
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "common/dense_map.hpp"
+#include "common/rng.hpp"
+#include "ggd/engine.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace cgc {
+namespace {
+
+struct ScaleConfig {
+  std::string name;
+  std::uint64_t sites = 0;
+  std::uint64_t roots = 0;
+  std::uint64_t processes = 0;  // target population (roots included)
+  std::uint64_t churn_ops = 0;  // sustained mutator ops after build-up
+};
+
+struct ScaleResult {
+  ScaleConfig cfg;
+  std::uint64_t events = 0;
+  double wall_ms = 0;
+  double events_per_sec = 0;
+  std::uint64_t reclaimed = 0;
+  std::uint64_t wire_bytes = 0;
+  double bytes_per_reclaimed = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t log_entries = 0;
+  std::uint64_t peak_rss_kb = 0;
+};
+
+/// VmHWM (peak resident set) in kB; 0 when /proc is unavailable.
+std::uint64_t peak_rss_kb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::istringstream ss(line.substr(6));
+      std::uint64_t kb = 0;
+      ss >> kb;
+      return kb;
+    }
+  }
+  return 0;
+}
+
+/// The mutator model: processes cluster under the root of their cohort;
+/// churn keeps creating short-lived structures (including cycles) and
+/// severing them, so the engine collects continuously while the
+/// population stays near the target.
+ScaleResult run_scale(const ScaleConfig& cfg) {
+  Simulator sim;
+  Network net(sim, NetworkConfig{.min_latency = 1,
+                                 .max_latency = 3,
+                                 .drop_rate = 0,
+                                 .duplicate_rate = 0,
+                                 .seed = 12345});
+  GgdEngine eng(net);
+  Rng rng(cfg.processes ^ (cfg.sites << 20));
+
+  std::uint64_t id_counter = 0;
+  const auto site_for = [&](std::uint64_t v) { return SiteId{v % cfg.sites}; };
+
+  std::vector<ProcessId> population;
+  population.reserve(cfg.processes);
+  DenseSet<ProcessId> dead;
+  eng.set_on_removed([&dead](ProcessId p) { dead.insert(p); });
+
+  // Delivered-edge mirror so churn only drops edges that exist: the
+  // network is fault-free and paced (run() between batches), so every
+  // sent reference materialises.
+  std::vector<std::pair<ProcessId, ProcessId>> edges;
+  DenseSet<std::pair<ProcessId, ProcessId>> edge_set;
+  const auto add_edge = [&](ProcessId holder, ProcessId target) {
+    if (edge_set.insert({holder, target})) {
+      edges.push_back({holder, target});
+    }
+  };
+  const auto alive = [&](ProcessId p) { return !dead.contains(p); };
+  const auto pick = [&](const std::vector<ProcessId>& v) {
+    return v[rng.below(v.size())];
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+
+  for (std::uint64_t r = 0; r < cfg.roots; ++r) {
+    const ProcessId root = ProcessId{++id_counter};
+    eng.add_process(root, site_for(root.value()), /*is_root=*/true);
+    population.push_back(root);
+  }
+
+  // Build-up: every newborn hangs off a random live process (edges cross
+  // sites by construction: ids round-robin over all sites).
+  std::uint64_t batch = 0;
+  while (id_counter < cfg.processes) {
+    ProcessId creator = pick(population);
+    if (!alive(creator)) {
+      continue;
+    }
+    const ProcessId newborn = ProcessId{++id_counter};
+    eng.create_object(creator, newborn, site_for(newborn.value()));
+    population.push_back(newborn);
+    add_edge(creator, newborn);
+    if (++batch % 512 == 0) {
+      sim.run();
+    }
+  }
+  sim.run();
+
+  // Sustained churn: create / cross-link (cycles included) / sever whole
+  // branches; sweep periodically like a deployed system.
+  for (std::uint64_t op = 0; op < cfg.churn_ops; ++op) {
+    const std::uint64_t dice = rng.below(100);
+    if (dice < 30) {
+      const ProcessId creator = pick(population);
+      if (alive(creator)) {
+        const ProcessId newborn = ProcessId{++id_counter};
+        eng.create_object(creator, newborn, site_for(newborn.value()));
+        population.push_back(newborn);
+        add_edge(creator, newborn);
+      }
+    } else if (dice < 55) {
+      // i introduces itself to j (possible cycle edge j -> i).
+      const ProcessId i = pick(population);
+      const ProcessId j = pick(population);
+      if (i != j && alive(i) && alive(j)) {
+        eng.send_own_ref(i, j);
+        add_edge(j, i);
+      }
+    } else if (dice < 70 && !edges.empty()) {
+      // i forwards a held reference of k to j (lazy third-party, §3.4).
+      const auto [i, k] = edges[rng.below(edges.size())];
+      const ProcessId j = pick(population);
+      if (j != k && j != i && alive(i) && alive(j) && alive(k)) {
+        eng.send_third_party_ref(i, k, j);
+        add_edge(j, k);
+      }
+    } else if (!edges.empty()) {
+      // Sever a random edge; cascades below it become garbage for the
+      // engine to find.
+      const std::size_t idx = rng.below(edges.size());
+      const auto [holder, target] = edges[idx];
+      edges[idx] = edges.back();
+      edges.pop_back();
+      edge_set.erase({holder, target});
+      if (alive(holder) && alive(target)) {
+        eng.drop_ref(holder, target);
+      }
+    }
+    if ((op + 1) % 512 == 0) {
+      sim.run();
+    }
+    if ((op + 1) % 8192 == 0) {
+      eng.periodic_sweep();
+      sim.run();
+    }
+  }
+  sim.run();
+  for (int round = 0; round < 3; ++round) {
+    eng.periodic_sweep();
+    sim.run();
+  }
+
+  const auto end = std::chrono::steady_clock::now();
+
+  ScaleResult res;
+  res.cfg = cfg;
+  res.events = sim.executed();
+  res.wall_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  res.events_per_sec =
+      res.wall_ms > 0 ? static_cast<double>(res.events) / (res.wall_ms / 1e3)
+                      : 0;
+  res.reclaimed = eng.removed().size();
+  res.wire_bytes = net.stats().packets().bytes_sent;
+  res.bytes_per_reclaimed =
+      res.reclaimed > 0
+          ? static_cast<double>(res.wire_bytes) /
+                static_cast<double>(res.reclaimed)
+          : 0;
+  res.packets = net.stats().packets().sent;
+  res.log_entries = eng.total_log_entries();
+  res.peak_rss_kb = peak_rss_kb();
+  return res;
+}
+
+void emit(const std::string& path, const std::vector<ScaleResult>& results) {
+  std::ofstream os(path);
+  benchjson::Json json(os);
+  json.open('{');
+  json.key("bench");
+  json.value(std::string("scale"));
+  benchjson::write_provenance(json);
+  json.key("configs");
+  json.open('{');
+  for (const ScaleResult& r : results) {
+    json.key(r.cfg.name);
+    json.open('{');
+    json.key("sites");
+    json.value(r.cfg.sites);
+    json.key("roots");
+    json.value(r.cfg.roots);
+    json.key("processes");
+    json.value(r.cfg.processes);
+    json.key("churn_ops");
+    json.value(r.cfg.churn_ops);
+    json.key("events");
+    json.value(r.events);
+    json.key("wall_ms");
+    json.value(static_cast<std::uint64_t>(r.wall_ms));
+    json.key("events_per_sec");
+    json.value(static_cast<std::uint64_t>(r.events_per_sec));
+    json.key("reclaimed");
+    json.value(r.reclaimed);
+    json.key("wire_bytes");
+    json.value(r.wire_bytes);
+    json.key("bytes_per_reclaimed");
+    json.value(static_cast<std::uint64_t>(r.bytes_per_reclaimed));
+    json.key("packets");
+    json.value(r.packets);
+    json.key("log_entries");
+    json.value(r.log_entries);
+    json.key("peak_rss_kb");
+    json.value(r.peak_rss_kb);
+    json.close('}');
+  }
+  json.close('}');
+  json.close('}');
+  os << '\n';
+  std::cout << "wrote " << path << '\n';
+}
+
+}  // namespace
+}  // namespace cgc
+
+int main(int argc, char** argv) {
+  using namespace cgc;
+  const bool quick =
+      argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
+  std::vector<ScaleConfig> configs = {
+      {"small", /*sites=*/16, /*roots=*/32, /*processes=*/1'000,
+       /*churn=*/4'000},
+  };
+  if (!quick) {
+    configs.push_back({"medium", 64, 128, 5'000, 20'000});
+    configs.push_back({"large", 256, 512, 20'000, 60'000});
+  }
+
+  std::cout << "scale tier: dense-core engine under sustained churn\n";
+  std::vector<ScaleResult> results;
+  for (const ScaleConfig& cfg : configs) {
+    ScaleResult r = run_scale(cfg);
+    std::cout << cfg.name << ": sites=" << cfg.sites
+              << " procs=" << cfg.processes << " churn=" << cfg.churn_ops
+              << " | events=" << r.events << " wall_ms="
+              << static_cast<std::uint64_t>(r.wall_ms)
+              << " events/s=" << static_cast<std::uint64_t>(r.events_per_sec)
+              << " reclaimed=" << r.reclaimed << " bytes/reclaimed="
+              << static_cast<std::uint64_t>(r.bytes_per_reclaimed)
+              << " peak_rss_kb=" << r.peak_rss_kb << '\n';
+    results.push_back(std::move(r));
+  }
+  emit("BENCH_scale.json", results);
+  return 0;
+}

@@ -79,6 +79,7 @@ void emit(const std::string& path) {
   json.open('{');
   json.key("bench");
   json.value(std::string("scenarios"));
+  benchjson::write_provenance(json);
   json.key("seeds_per_class");
   json.value(kSeedsPerClass);
   json.key("classes");

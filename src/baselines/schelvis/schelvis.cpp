@@ -179,7 +179,7 @@ void SchelvisEngine::remove_node(ProcessId id) {
   CGC_CHECK(!n.root);
   n.removed = true;
   ++removed_count_;
-  const std::set<ProcessId> out = n.out;
+  const FlatSet<ProcessId> out = n.out;
   n.out.clear();
   n.in.clear();
   for (ProcessId t : out) {

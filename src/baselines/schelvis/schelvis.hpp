@@ -18,10 +18,9 @@
 // an exhausted depth-first search proves the absence of a root path).
 #pragma once
 
-#include <map>
-#include <set>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 #include "net/network.hpp"
 #include "wire/mailbox.hpp"
@@ -52,8 +51,8 @@ class SchelvisEngine : public wire::Mailbox {
   struct Node {
     bool root = false;
     bool removed = false;
-    std::set<ProcessId> in;
-    std::set<ProcessId> out;
+    FlatSet<ProcessId> in;
+    FlatSet<ProcessId> out;
   };
 
   /// A travelling depth-first probe: "is there an open path from an actual
@@ -62,7 +61,7 @@ class SchelvisEngine : public wire::Mailbox {
   /// wire size grows with the explored path — §4's packet-size behaviour.
   struct Probe {
     ProcessId origin;
-    std::set<ProcessId> visited;
+    FlatSet<ProcessId> visited;
     std::vector<ProcessId> path;  // DFS stack, path.back() = current node
   };
 
@@ -87,7 +86,7 @@ class SchelvisEngine : public wire::Mailbox {
   void attach(ProcessId id) { net_.register_mailbox(site(id), *this); }
 
   Network& net_;
-  std::map<ProcessId, Node> nodes_;
+  FlatMap<ProcessId, Node> nodes_;
   std::size_t removed_count_ = 0;
 };
 

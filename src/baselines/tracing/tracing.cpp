@@ -58,7 +58,7 @@ std::size_t TracingCollector::run_cycle() {
 
   // Mark phase: every inter-site edge reached from a root costs one mark
   // message plus one acknowledgement (termination detection).
-  std::set<ProcessId> marked;
+  FlatSet<ProcessId> marked;
   std::vector<ProcessId> stack;
   for (const auto& [id, n] : nodes_) {
     if (n.root) {

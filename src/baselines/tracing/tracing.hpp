@@ -15,9 +15,7 @@
 // anything before the global iteration completes.
 #pragma once
 
-#include <map>
-#include <set>
-
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 #include "net/network.hpp"
 #include "wire/mailbox.hpp"
@@ -62,7 +60,7 @@ class TracingCollector : public wire::Mailbox {
  private:
   struct Node {
     bool root = false;
-    std::set<ProcessId> out;
+    FlatSet<ProcessId> out;
   };
 
   static constexpr SiteId kCoordinator{0};
@@ -72,7 +70,7 @@ class TracingCollector : public wire::Mailbox {
   void attach(ProcessId id) { net_.register_mailbox(site(id), *this); }
 
   Network& net_;
-  std::map<ProcessId, Node> nodes_;
+  FlatMap<ProcessId, Node> nodes_;
   std::size_t removed_count_ = 0;
   std::size_t last_participants_ = 0;
 };

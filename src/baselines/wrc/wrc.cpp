@@ -92,11 +92,9 @@ void WrcEngine::on_weight_returned(ProcessId target, std::uint64_t w) {
     // All weight returned: provably unreachable (acyclically).
     // Recursively drop the references the dead object held.
     std::vector<std::pair<ProcessId, ProcessId>> held;
-    for (const auto& [key, weight] : ref_weight_) {
-      (void)weight;
-      if (key.first == target) {
-        held.push_back(key);
-      }
+    for (auto it = ref_weight_.lower_bound({target, ProcessId{0}});
+         it != ref_weight_.end() && it->first.first == target; ++it) {
+      held.push_back(it->first);
     }
     removed_.insert(target);
     nodes_.erase(nit);

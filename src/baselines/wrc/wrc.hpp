@@ -14,10 +14,9 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <set>
 #include <utility>
 
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 #include "net/network.hpp"
 #include "wire/mailbox.hpp"
@@ -58,10 +57,12 @@ class WrcEngine : public wire::Mailbox {
   void attach(ProcessId id) { net_.register_mailbox(site(id), *this); }
 
   Network& net_;
-  std::map<ProcessId, Node> nodes_;
-  /// Weight carried by each held reference (holder, target).
-  std::map<std::pair<ProcessId, ProcessId>, std::uint64_t> ref_weight_;
-  std::set<ProcessId> removed_;
+  FlatMap<ProcessId, Node> nodes_;
+  /// Weight carried by each held reference, keyed (holder, target):
+  /// sorted, so one holder's references are one contiguous range — the
+  /// reclamation cascade below scans a slice instead of the whole table.
+  FlatMap<std::pair<ProcessId, ProcessId>, std::uint64_t> ref_weight_;
+  FlatSet<ProcessId> removed_;
 };
 
 }  // namespace cgc

@@ -1,0 +1,120 @@
+// Small-buffer-optimized move-only callable: `std::function` without the
+// per-event heap allocation.
+//
+// Every event the simulator runs is a lambda capturing a handful of
+// pointers and ids (the largest in-tree capture is the network's delivery
+// closure: a `this` pointer plus a 24-byte `std::vector` of packet
+// bytes). `std::function`'s SBO is implementation-defined and its copy
+// requirement forces captured state to be copyable; this type guarantees
+// captures up to `kCapacity` bytes live inline in the event object
+// itself, so scheduling an event allocates nothing beyond the slot it
+// occupies in the scheduler's heap array. Larger captures fall back to
+// one heap cell (still move-only).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace cgc {
+
+template <std::size_t kCapacity>
+class InlineFunction {
+  static_assert(kCapacity >= sizeof(void*),
+                "capacity must fit the heap-fallback pointer");
+
+ public:
+  InlineFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kCapacity &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.buf_, buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.buf_, buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() {
+    CGC_CHECK(ops_ != nullptr);
+    ops_->invoke(buf_);
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* buf);
+    /// Move-constructs into `dst` from `src`, then destroys `src` — the
+    /// one primitive heap sift-up/down needs.
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void* buf) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps{
+      [](void* buf) { (*std::launder(static_cast<Fn*>(buf)))(); },
+      [](void* src, void* dst) noexcept {
+        Fn* f = std::launder(static_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*f));
+        f->~Fn();
+      },
+      [](void* buf) noexcept { std::launder(static_cast<Fn*>(buf))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps{
+      [](void* buf) { (**std::launder(static_cast<Fn**>(buf)))(); },
+      [](void* src, void* dst) noexcept {
+        Fn** p = std::launder(static_cast<Fn**>(src));
+        ::new (dst) Fn*(*p);
+      },
+      [](void* buf) noexcept { delete *std::launder(static_cast<Fn**>(buf)); },
+  };
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte buf_[kCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace cgc

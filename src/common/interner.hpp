@@ -1,0 +1,72 @@
+// Identifier interning: external sparse 64-bit ids → dense uint32 indices.
+//
+// The protocol's ids (`ProcessId`, `SiteId`) are sparse and unbounded —
+// correct for the wire, where the universe of acquaintances grows
+// dynamically (§3.3), but wrong as table keys: every per-process table
+// the engine keeps would pay a hashed or ordered lookup per touch. An
+// `IdInterner` assigns each external id a dense index on first sight;
+// per-process engine state then lives in plain vectors indexed by it, and
+// the hot `is_root`/`site_of` checks inside the reachability walk become
+// two array reads.
+//
+// Indices are assigned in first-intern order and never reused, so for a
+// deterministic operation sequence the mapping itself is deterministic.
+// External ids — never dense indices — are what goes on the wire.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/dense_map.hpp"
+
+namespace cgc {
+
+template <typename Id>
+class IdInterner {
+ public:
+  /// Sentinel for "never interned".
+  static constexpr std::uint32_t kNone = ~std::uint32_t{0};
+
+  /// Returns the dense index for `id`, assigning the next one on first
+  /// sight.
+  std::uint32_t intern(Id id) {
+    auto [slot, inserted] = index_.emplace(id, kNone);
+    if (inserted) {
+      *slot = static_cast<std::uint32_t>(ids_.size());
+      ids_.push_back(id);
+    }
+    return *slot;
+  }
+
+  /// Dense index of `id`, or kNone if it was never interned.
+  [[nodiscard]] std::uint32_t index_of(Id id) const {
+    const std::uint32_t* idx = index_.find(id);
+    return idx == nullptr ? kNone : *idx;
+  }
+
+  [[nodiscard]] bool knows(Id id) const { return index_.contains(id); }
+
+  /// The external id a dense index stands for.
+  [[nodiscard]] Id id_of(std::uint32_t index) const {
+    CGC_CHECK(index < ids_.size());
+    return ids_[index];
+  }
+
+  /// Number of interned ids == one past the largest assigned index.
+  [[nodiscard]] std::size_t size() const { return ids_.size(); }
+
+  /// All interned ids, in assignment (first-sight) order.
+  [[nodiscard]] const std::vector<Id>& ids() const { return ids_; }
+
+  void reserve(std::size_t n) {
+    index_.reserve(n);
+    ids_.reserve(n);
+  }
+
+ private:
+  DenseMap<Id, std::uint32_t> index_;
+  std::vector<Id> ids_;
+};
+
+}  // namespace cgc

@@ -6,13 +6,15 @@
 namespace cgc {
 
 GgdProcess& GgdEngine::add_process(ProcessId id, SiteId site, bool is_root) {
-  CGC_CHECK_MSG(!procs_.contains(id), "duplicate process id");
-  auto [it, inserted] = procs_.emplace(id, GgdProcess(id, is_root));
-  CGC_CHECK(inserted);
-  site_of_[id] = site;
-  root_flag_[id] = is_root;
+  CGC_CHECK_MSG(!ids_.knows(id), "duplicate process id");
+  const std::uint32_t idx = ids_.intern(id);
+  CGC_CHECK(idx == procs_.size());
+  procs_.emplace_back(id, is_root);
+  site_by_idx_.push_back(site);
+  root_by_idx_.push_back(is_root ? 1 : 0);
+  proc_order_.insert(id);
   attach_site(site);
-  return it->second;
+  return procs_.back();
 }
 
 void GgdEngine::attach_site(SiteId site) {
@@ -21,22 +23,14 @@ void GgdEngine::attach_site(SiteId site) {
   }
 }
 
-GgdProcess& GgdEngine::process(ProcessId id) {
-  auto it = procs_.find(id);
-  CGC_CHECK_MSG(it != procs_.end(), "unknown process id");
-  return it->second;
-}
+GgdProcess& GgdEngine::process(ProcessId id) { return procs_[index_of(id)]; }
 
 const GgdProcess& GgdEngine::process(ProcessId id) const {
-  auto it = procs_.find(id);
-  CGC_CHECK_MSG(it != procs_.end(), "unknown process id");
-  return it->second;
+  return procs_[index_of(id)];
 }
 
 SiteId GgdEngine::site_of(ProcessId id) const {
-  auto it = site_of_.find(id);
-  CGC_CHECK(it != site_of_.end());
-  return it->second;
+  return site_by_idx_[index_of(id)];
 }
 
 void GgdEngine::send_ref_transfer(SiteId from, SiteId to, ProcessId recipient,
@@ -71,7 +65,7 @@ void GgdEngine::send_third_party_ref(ProcessId i, ProcessId k, ProcessId j) {
 }
 
 void GgdEngine::on_ref_transfer(const wire::RefTransfer& transfer) {
-  if (!applied_transfers_.insert(transfer.transfer_id).second) {
+  if (!applied_transfers_.insert(transfer.transfer_id)) {
     return;  // duplicated delivery: the transfer applied once
   }
   // A re-granted reference obsoletes any still-undelivered destruction of
@@ -165,7 +159,7 @@ void GgdEngine::on_ggd_message(const GgdMessage& msg) {
   ++participating_sites_[site_of(msg.to)];
   const bool was_removed = target.removed();
   std::vector<GgdMessage> out =
-      target.receive(msg, [this](ProcessId p) { return root_flag_.at(p); },
+      target.receive(msg, [this](ProcessId p) { return root_flag(p); },
                      net_.simulator().now());
   if (!was_removed && target.removed()) {
     removed_.push_back(msg.to);
@@ -195,9 +189,9 @@ void GgdEngine::schedule_flush(ProcessId p) {
   // member (latency, not correctness, is traded), which is what keeps the
   // §4 comparison's message count near-linear. The periodic sweep resets
   // the window.
-  auto [it, inserted] = flush_delay_.emplace(p, SimTime{1});
-  const SimTime delay = it->second;
-  it->second = std::min<SimTime>(it->second * 2, 64);
+  auto [slot, inserted] = flush_delay_.emplace(p, SimTime{1});
+  const SimTime delay = *slot;
+  *slot = std::min<SimTime>(*slot * 2, 64);
   net_.simulator().schedule_in(delay, [this, p]() {
     flush_scheduled_.erase(p);
     GgdProcess& proc = process(p);
@@ -222,15 +216,15 @@ void GgdEngine::periodic_sweep() {
     }
   }
   dispatch_all(std::move(reemit));
-  for (auto& [id, proc] : procs_) {
-    (void)id;
+  for (ProcessId id : proc_order_) {
+    GgdProcess& proc = procs_[index_of(id)];
     if (proc.removed() || proc.is_root()) {
       continue;
     }
     proc.reset_inquiry_gates();
     const bool was_removed = proc.removed();
     std::vector<GgdMessage> out =
-        proc.decide([this](ProcessId p) { return root_flag_.at(p); },
+        proc.decide([this](ProcessId p) { return root_flag(p); },
                     /*allow_inquiry=*/true, net_.simulator().now());
     if (!was_removed && proc.removed()) {
       removed_.push_back(proc.id());
@@ -245,8 +239,7 @@ void GgdEngine::periodic_sweep() {
 
 std::size_t GgdEngine::total_log_entries() const {
   std::size_t n = 0;
-  for (const auto& [id, p] : procs_) {
-    (void)id;
+  for (const GgdProcess& p : procs_) {
     if (!p.removed()) {
       n += p.log().entry_count();
     }

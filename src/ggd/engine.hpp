@@ -13,15 +13,26 @@
 // bodies through the same faulty network; the engine is the mailbox of
 // every site it hosts processes on (composite systems register their own
 // demultiplexing mailbox first and forward GGD bodies here).
+//
+// Process state is interned: every registered ProcessId gets a dense
+// uint32 index on registration, process objects live in a deque indexed
+// by it (stable addresses), and the site/root lookups the reachability
+// walk hammers are one hash probe plus an array read. Anything iterated
+// in a wire-observable order (sweeps, pending destructions) walks a
+// sorted flat index, preserving the exact emission order of the previous
+// `std::map` tables.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <map>
-#include <set>
+#include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/dense_map.hpp"
+#include "common/flat_map.hpp"
+#include "common/interner.hpp"
 #include "common/types.hpp"
 #include "ggd/process.hpp"
 #include "logkeeping/lazy_logkeeping.hpp"
@@ -40,15 +51,18 @@ class GgdEngine : public wire::Mailbox {
   GgdProcess& add_process(ProcessId id, SiteId site, bool is_root);
 
   [[nodiscard]] bool has_process(ProcessId id) const {
-    return procs_.contains(id);
+    return ids_.knows(id);
   }
   [[nodiscard]] GgdProcess& process(ProcessId id);
   [[nodiscard]] const GgdProcess& process(ProcessId id) const;
   [[nodiscard]] SiteId site_of(ProcessId id) const;
 
-  [[nodiscard]] const std::map<ProcessId, GgdProcess>& processes() const {
-    return procs_;
+  /// All registered process ids in increasing order (deterministic sweep
+  /// order), and the count.
+  [[nodiscard]] const FlatSet<ProcessId>& process_ids() const {
+    return proc_order_;
   }
+  [[nodiscard]] std::size_t process_count() const { return procs_.size(); }
 
   // -- Mutator-level operations (each also performs lazy log-keeping) ----
 
@@ -144,29 +158,46 @@ class GgdEngine : public wire::Mailbox {
   void on_ref_transfer(const wire::RefTransfer& transfer);
   void on_ggd_message(const GgdMessage& msg);
 
+  /// Dense index of a registered process; checks registration.
+  [[nodiscard]] std::uint32_t index_of(ProcessId id) const {
+    const std::uint32_t idx = ids_.index_of(id);
+    CGC_CHECK_MSG(idx != IdInterner<ProcessId>::kNone, "unknown process id");
+    return idx;
+  }
+  [[nodiscard]] bool root_flag(ProcessId id) const {
+    return root_by_idx_[index_of(id)] != 0;
+  }
+
   Network& net_;
   LazyLogKeeping logkeeping_;
-  std::map<ProcessId, GgdProcess> procs_;
-  std::map<ProcessId, SiteId> site_of_;
-  std::map<ProcessId, bool> root_flag_;
+  /// Interned process table: `ids_` assigns the dense index, the deque
+  /// (stable addresses) holds the process objects, and the two parallel
+  /// vectors answer the walk's site/root queries in O(1).
+  IdInterner<ProcessId> ids_;
+  std::deque<GgdProcess> procs_;
+  std::vector<SiteId> site_by_idx_;
+  std::vector<std::uint8_t> root_by_idx_;
+  /// Registered ids in increasing order — the wire-observable iteration
+  /// order of the periodic sweep.
+  FlatSet<ProcessId> proc_order_;
   std::vector<ProcessId> removed_;
-  std::map<SiteId, std::uint64_t> participating_sites_;
-  std::set<ProcessId> flush_scheduled_;
-  std::map<ProcessId, SimTime> flush_delay_;
+  DenseMap<SiteId, std::uint64_t> participating_sites_;
+  DenseSet<ProcessId> flush_scheduled_;
+  DenseMap<ProcessId, SimTime> flush_delay_;
   /// Mutator edge-destruction messages not yet known to have arrived:
   /// kept until a destruction from the same dropper is delivered to the
   /// target, and re-emitted by the periodic sweep. This models the
   /// paper's recovery story — the local collector re-summarises and
   /// re-emits destruction events — so transient loss costs only latency,
   /// not comprehensiveness. Destruction messages are idempotent, so a
-  /// re-emission racing the original is harmless duplication.
-  std::map<std::pair<ProcessId, ProcessId>, GgdMessage>
-      pending_destructions_;
+  /// re-emission racing the original is harmless duplication. Sorted:
+  /// re-emission order is wire-observable.
+  FlatMap<std::pair<ProcessId, ProcessId>, GgdMessage> pending_destructions_;
   /// Reference transfers are applied exactly once: a duplicated
   /// reference-passing message must not hand the recipient a reference its
   /// mutator already dropped.
   std::uint64_t transfer_counter_ = 0;
-  std::set<std::uint64_t> applied_transfers_;
+  DenseSet<std::uint64_t> applied_transfers_;
   std::function<void(ProcessId)> on_removed_;
   std::function<void(ProcessId, ProcessId)> on_ref_delivered_;
 };

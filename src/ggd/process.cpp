@@ -1,7 +1,6 @@
 #include "ggd/process.hpp"
 
 #include <algorithm>
-#include <set>
 
 #include "common/assert.hpp"
 
@@ -13,7 +12,7 @@ namespace {
 /// subject's own event counter (strictly monotone at the subject). An
 /// older report never clobbers a newer one — duplication and reordering
 /// are harmless (robustness, §5).
-void adopt_row(std::map<ProcessId, DependencyVector>& rows, ProcessId subject,
+void adopt_row(FlatMap<ProcessId, DependencyVector>& rows, ProcessId subject,
                const DependencyVector& row) {
   auto it = rows.find(subject);
   if (it == rows.end()) {
@@ -236,9 +235,9 @@ std::vector<GgdMessage> GgdProcess::decide(
   if (is_root_ || removed_) {
     return out;
   }
-  std::set<ProcessId> missing;
-  std::set<ProcessId> root_evidence;
-  std::set<ProcessId> consulted;
+  FlatSet<ProcessId> missing;
+  FlatSet<ProcessId> root_evidence;
+  FlatSet<ProcessId> consulted;
   const WalkResult res = walk_to_root(is_root, missing, root_evidence,
                                       consulted);
   if (!allow_inquiry && res != WalkResult::kUnreachable) {
@@ -296,7 +295,7 @@ std::vector<GgdMessage> GgdProcess::decide(
       pending_verify_ = true;
       pending_verify_since_ = now;
     }
-    std::set<ProcessId> unconfirmed;
+    FlatSet<ProcessId> unconfirmed;
     for (ProcessId q : consulted) {
       if (!known_rows_.contains(q)) {
         continue;  // row vanished (death learned mid-walk): nothing to ask
@@ -447,9 +446,9 @@ void GgdProcess::merge_edge_facts(const DependencyVector& facts,
 
 GgdProcess::WalkResult GgdProcess::walk_to_root(
     const std::function<bool(ProcessId)>& is_root,
-    std::set<ProcessId>& missing, std::set<ProcessId>& root_evidence,
-    std::set<ProcessId>& consulted) const {
-  std::set<ProcessId> visited{id_};
+    FlatSet<ProcessId>& missing, FlatSet<ProcessId>& root_evidence,
+    FlatSet<ProcessId>& consulted) const {
+  FlatSet<ProcessId> visited{id_};
   // Stack of (process, subject of the row that contributed it); the
   // invalid id marks entries contributed by our own self row.
   std::vector<std::pair<ProcessId, ProcessId>> stack;
@@ -579,7 +578,7 @@ DependencyVector GgdProcess::compute_v() const {
     }
   }
   std::vector<ProcessId> stack;
-  std::set<ProcessId> expanded{id_};
+  FlatSet<ProcessId> expanded{id_};
   for (const auto& [q, ts] : v.entries()) {
     if (q != id_ && !ts.is_delta()) {
       stack.push_back(q);

@@ -16,10 +16,10 @@
 #pragma once
 
 #include <functional>
-#include <set>
 #include <utility>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 #include "sim/simulator.hpp"
 #include "vclock/dv_log.hpp"
@@ -60,20 +60,20 @@ struct GgdMessage {
   /// grants that exist only at a forwarder — without them, a process two
   /// hops from a lazily-deferred rescue edge can prove a live structure
   /// dead (found by scenario fuzzing).
-  std::map<ProcessId, DependencyVector> behalf_rows;
+  FlatMap<ProcessId, DependencyVector> behalf_rows;
   /// Relayed in-edge rows of other processes, versioned by their subjects'
   /// own counters. Rows flooding along the cascade is what keeps the
   /// message COUNT of collecting a k-element structure at O(k) (§4's
   /// comparison): without relaying, every member must inquire every other
   /// member's row — O(k^2) messages. Message size grows instead, exactly
   /// like the paper's circulating dependency vectors.
-  std::map<ProcessId, DependencyVector> rows;
+  FlatMap<ProcessId, DependencyVector> rows;
   /// Processes known to have been collected. Death is a stable global
   /// fact (a removed global root has no edges and will never be revived),
   /// so it propagates monotonically on every message; it is what clears
   /// lingering live entries of long-collected processes out of circulated
   /// histories.
-  std::set<ProcessId> dead;
+  FlatSet<ProcessId> dead;
   /// Demand-driven completion (DESIGN.md §2): a process whose garbage
   /// decision is blocked on an entry it cannot vouch sends an inquiry to
   /// the entry's subject; the subject replies with its certified history
@@ -89,7 +89,7 @@ struct GgdMessage {
   /// you" refutes the claimed edge responder -> inquirer (and also heals a
   /// lost destruction message).
   bool has_out_edges = false;
-  std::set<ProcessId> out_edges;
+  FlatSet<ProcessId> out_edges;
 
   [[nodiscard]] bool is_destruction() const {
     return v.get(from).destroyed();
@@ -110,7 +110,7 @@ class GgdProcess {
   [[nodiscard]] DvLog& log() { return log_; }
   [[nodiscard]] const DvLog& log() const { return log_; }
 
-  [[nodiscard]] const std::set<ProcessId>& acquaintances() const {
+  [[nodiscard]] const FlatSet<ProcessId>& acquaintances() const {
     return acquaintances_;
   }
   void add_acquaintance(ProcessId q) { acquaintances_.insert(q); }
@@ -171,7 +171,7 @@ class GgdProcess {
   /// Accumulated third-party on-behalf knowledge: for subject q, the
   /// merged deferred edge-creation entries reported by any forwarder.
   /// Overlaid on q's replica row during the walk.
-  [[nodiscard]] const std::map<ProcessId, DependencyVector>& known_behalf()
+  [[nodiscard]] const FlatMap<ProcessId, DependencyVector>& known_behalf()
       const {
     return known_behalf_;
   }
@@ -196,8 +196,8 @@ class GgdProcess {
   /// the rows an unreachable verdict rests on.
   [[nodiscard]] WalkResult walk_to_root(
       const std::function<bool(ProcessId)>& is_root,
-      std::set<ProcessId>& missing, std::set<ProcessId>& root_evidence,
-      std::set<ProcessId>& consulted) const;
+      FlatSet<ProcessId>& missing, FlatSet<ProcessId>& root_evidence,
+      FlatSet<ProcessId>& consulted) const;
 
   /// Runs the garbage decision (walk + removal or inquiries) without a
   /// triggering message. Used by the periodic sweep that models the
@@ -237,13 +237,13 @@ class GgdProcess {
   /// separate from the on-behalf rows in `log_`: the self row and the
   /// behalf rows hold *edge facts* of the global root graph; this map holds
   /// *claims about reachability history* received from their subjects.
-  [[nodiscard]] const std::map<ProcessId, DependencyVector>& history() const {
+  [[nodiscard]] const FlatMap<ProcessId, DependencyVector>& history() const {
     return history_;
   }
 
  private:
  public:
-  [[nodiscard]] const std::set<ProcessId>& dead() const { return dead_; }
+  [[nodiscard]] const FlatSet<ProcessId>& dead() const { return dead_; }
 
  private:
   /// Merges announced edge facts (bundled or per-message behalf entries)
@@ -255,40 +255,40 @@ class GgdProcess {
   ProcessId id_;
   bool is_root_;
   DvLog log_;
-  std::map<ProcessId, DependencyVector> history_;
-  std::map<ProcessId, DependencyVector> known_rows_;
-  std::map<ProcessId, DependencyVector> known_behalf_;
-  std::set<ProcessId> dead_;
-  std::set<ProcessId> inquired_;
+  FlatMap<ProcessId, DependencyVector> history_;
+  FlatMap<ProcessId, DependencyVector> known_rows_;
+  FlatMap<ProcessId, DependencyVector> known_behalf_;
+  FlatSet<ProcessId> dead_;
+  FlatSet<ProcessId> inquired_;
   /// Inquiries currently outstanding: at most one in flight per subject
   /// (cleared when any message from the subject arrives, or by the
   /// periodic sweep). Without this, every reply re-inquires every other
   /// still-missing subject and traffic grows combinatorially.
-  std::set<ProcessId> inflight_inquiries_;
+  FlatSet<ProcessId> inflight_inquiries_;
   /// Per blocked-walk subject: its row version at the last inquiry. A
   /// subject whose answer did not advance its row is not re-asked within
   /// the same round (its own pending resolution — e.g. fetching a dead
   /// holder's posthumous bundle — takes its own round trips); the sweep
   /// clears this so every round retries once.
-  std::map<ProcessId, std::uint64_t> blocked_inquired_version_;
+  FlatMap<ProcessId, std::uint64_t> blocked_inquired_version_;
   /// Self-row slots whose live entry came from conservative resurrection
   /// (an announced edge fact that an existing destruction marker would
   /// have masked). Such entries are not authoritative: a root claim among
   /// them is re-verified by inquiring the subject before it can pin this
   /// process alive for ever.
-  std::set<ProcessId> resurrected_;
+  FlatSet<ProcessId> resurrected_;
   /// Per slot: the highest fact index that fed a resurrection, and the
   /// ceiling of fact indexes already refuted by the subject's own fresh
   /// reply. A stale behalf entry re-arriving after its refutation must
   /// not resurrect again (resurrect → verify → refute → resurrect would
   /// livelock); only a strictly newer fact — a genuinely new grant, whose
   /// per-slot index has advanced — may.
-  std::map<ProcessId, std::uint64_t> resurrect_fact_index_;
-  std::map<ProcessId, std::uint64_t> refuted_fact_ceiling_;
+  FlatMap<ProcessId, std::uint64_t> resurrect_fact_index_;
+  FlatMap<ProcessId, std::uint64_t> refuted_fact_ceiling_;
   /// Per subject: the row version at which a reachable-via-replica verdict
   /// was last re-verified by inquiry. A stale replica claiming a live root
   /// edge is refreshed at most once per version.
-  std::map<ProcessId, std::uint64_t> inquired_version_;
+  FlatMap<ProcessId, std::uint64_t> inquired_version_;
   /// Per subject: the sim time of the last direct reply from the subject
   /// itself. An unreachable verdict may rest on a live subject's replica
   /// row only when that reply arrived AFTER the verdict began pending
@@ -298,7 +298,7 @@ class GgdProcess {
   /// "all paths dead" proof (found by scenario fuzzing; dead subjects'
   /// rows are stable and need no confirmation). Genuine garbage confirms
   /// in one inquiry round — its rows can never change again.
-  std::map<ProcessId, SimTime> confirm_time_;
+  FlatMap<ProcessId, SimTime> confirm_time_;
   bool pending_verify_ = false;
   SimTime pending_verify_since_ = 0;
   /// Per in-edge subject: the self-row slot index up to which the edge's
@@ -310,10 +310,10 @@ class GgdProcess {
   /// scenario fuzzing: a lost newborn-to-creator transfer left an orphan
   /// pinned alive by its own send record for ever). Never cleared —
   /// delivery, once confirmed at an index, is a stable fact.
-  std::map<ProcessId, std::uint64_t> in_edge_confirmed_;
+  FlatMap<ProcessId, std::uint64_t> in_edge_confirmed_;
   bool forward_pending_ = false;
   DependencyVector last_v_;
-  std::set<ProcessId> acquaintances_;
+  FlatSet<ProcessId> acquaintances_;
   bool removed_ = false;
 };
 

@@ -16,10 +16,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <utility>
 
 #include "common/assert.hpp"
+#include "common/dense_map.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "metrics/message_stats.hpp"
@@ -52,8 +52,8 @@ class Network {
   /// Registers the endpoint that receives traffic addressed to `site`.
   /// Idempotent for the same mailbox; a site never has two endpoints.
   void register_mailbox(SiteId site, wire::Mailbox& mailbox) {
-    auto [it, inserted] = mailboxes_.emplace(site, &mailbox);
-    CGC_CHECK_MSG(inserted || it->second == &mailbox,
+    auto [slot, inserted] = mailboxes_.emplace(site, &mailbox);
+    CGC_CHECK_MSG(inserted || *slot == &mailbox,
                   "site already has a different mailbox");
   }
 
@@ -92,15 +92,15 @@ class Network {
     const SiteId to = dec.site_id();
     const std::uint64_t count = dec.varint();
     CGC_CHECK_MSG(dec.ok(), "malformed packet header");
-    auto it = mailboxes_.find(to);
-    CGC_CHECK_MSG(it != mailboxes_.end(),
+    wire::Mailbox* const* box = mailboxes_.find(to);
+    CGC_CHECK_MSG(box != nullptr,
                   "no mailbox registered for destination site");
     stats_.on_packet_deliver();
     for (std::uint64_t i = 0; i < count; ++i) {
       std::optional<wire::WireMessage> msg = wire::decode_message(dec);
       CGC_CHECK_MSG(msg.has_value(), "malformed message in packet");
       stats_.on_deliver(msg->kind);
-      it->second->deliver(from, to, *msg);
+      (*box)->deliver(from, to, *msg);
     }
     CGC_CHECK_MSG(dec.done(), "trailing bytes after last message");
   }
@@ -122,14 +122,11 @@ class Network {
 
  private:
   wire::BatchingChannel& channel(SiteId from, SiteId to) {
-    auto it = channels_.find({from, to});
-    if (it == channels_.end()) {
-      it = channels_
-               .emplace(std::make_pair(from, to),
-                        wire::BatchingChannel(from, to))
-               .first;
+    if (wire::BatchingChannel* ch = channels_.find({from, to})) {
+      return *ch;  // hot path: no throwaway channel construction
     }
-    return it->second;
+    return *channels_.emplace({from, to}, wire::BatchingChannel(from, to))
+                .first;
   }
 
   /// Puts the channel's pending batch on the wire as one packet: fault
@@ -184,8 +181,8 @@ class Network {
   NetworkConfig config_;
   Rng rng_;
   MessageStats stats_;
-  std::map<SiteId, wire::Mailbox*> mailboxes_;
-  std::map<std::pair<SiteId, SiteId>, wire::BatchingChannel> channels_;
+  DenseMap<SiteId, wire::Mailbox*> mailboxes_;
+  DenseMap<std::pair<SiteId, SiteId>, wire::BatchingChannel> channels_;
   wire::WireTrace* trace_ = nullptr;
 };
 

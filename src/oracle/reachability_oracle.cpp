@@ -9,8 +9,8 @@ namespace cgc {
 namespace {
 
 std::set<ProcessId> reach_from(
-    const std::set<ProcessId>& roots,
-    const std::map<ProcessId, std::set<ProcessId>>& edges) {
+    const FlatSet<ProcessId>& roots,
+    const FlatMap<ProcessId, FlatSet<ProcessId>>& edges) {
   std::set<ProcessId> seen;
   std::vector<ProcessId> stack(roots.begin(), roots.end());
   while (!stack.empty()) {
@@ -121,9 +121,9 @@ bool ReachabilityOracle::holds(ProcessId holder, ProcessId target) const {
   return it != edges_.end() && it->second.contains(target);
 }
 
-const std::set<ProcessId>& ReachabilityOracle::refs_of(
+const FlatSet<ProcessId>& ReachabilityOracle::refs_of(
     ProcessId holder) const {
-  static const std::set<ProcessId> kEmpty;
+  static const FlatSet<ProcessId> kEmpty;
   auto it = edges_.find(holder);
   return it == edges_.end() ? kEmpty : it->second;
 }
@@ -149,7 +149,7 @@ std::set<ProcessId> ReachabilityOracle::counting_collectable() const {
   // In-degree within the garbage-induced subgraph. A live holder cannot
   // point at garbage (that would make the target reachable), so garbage
   // in-edges only ever come from garbage.
-  std::map<ProcessId, std::size_t> in_degree;
+  FlatMap<ProcessId, std::size_t> in_degree;
   for (ProcessId p : garbage) {
     in_degree[p];
   }
@@ -185,8 +185,8 @@ std::set<ProcessId> ReachabilityOracle::counting_collectable() const {
 }
 
 void ReachabilityOracle::snapshot_at(
-    SimTime t, std::map<ProcessId, std::set<ProcessId>>& edges,
-    std::set<ProcessId>& roots) const {
+    SimTime t, FlatMap<ProcessId, FlatSet<ProcessId>>& edges,
+    FlatSet<ProcessId>& roots) const {
   for (const Event& ev : history_) {
     if (ev.at > t) {
       break;  // the log is appended in nondecreasing sim-time order
@@ -210,15 +210,15 @@ void ReachabilityOracle::snapshot_at(
 }
 
 std::set<ProcessId> ReachabilityOracle::reachable_at(SimTime t) const {
-  std::map<ProcessId, std::set<ProcessId>> edges;
-  std::set<ProcessId> roots;
+  FlatMap<ProcessId, FlatSet<ProcessId>> edges;
+  FlatSet<ProcessId> roots;
   snapshot_at(t, edges, roots);
   return reach_from(roots, edges);
 }
 
 std::set<ProcessId> ReachabilityOracle::garbage_at(SimTime t) const {
-  std::map<ProcessId, std::set<ProcessId>> edges;
-  std::set<ProcessId> roots;
+  FlatMap<ProcessId, FlatSet<ProcessId>> edges;
+  FlatSet<ProcessId> roots;
   snapshot_at(t, edges, roots);
   const std::set<ProcessId> seen = reach_from(roots, edges);
   std::set<ProcessId> out;

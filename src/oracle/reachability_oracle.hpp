@@ -28,11 +28,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 #include "sim/simulator.hpp"
 #include "workload/ops.hpp"
@@ -67,14 +67,14 @@ class ReachabilityOracle {
 
   [[nodiscard]] bool knows(ProcessId id) const { return edges_.contains(id); }
   [[nodiscard]] bool holds(ProcessId holder, ProcessId target) const;
-  [[nodiscard]] const std::set<ProcessId>& refs_of(ProcessId holder) const;
+  [[nodiscard]] const FlatSet<ProcessId>& refs_of(ProcessId holder) const;
   [[nodiscard]] std::set<ProcessId> reachable() const;
   [[nodiscard]] bool live(ProcessId id) const {
     return reachable().contains(id);
   }
   /// Non-root processes unreachable from every root, right now.
   [[nodiscard]] std::set<ProcessId> true_garbage() const;
-  [[nodiscard]] const std::set<ProcessId>& roots() const { return roots_; }
+  [[nodiscard]] const FlatSet<ProcessId>& roots() const { return roots_; }
   [[nodiscard]] std::size_t node_count() const { return edges_.size(); }
 
   /// What a (weighted) reference-counting collector can ever reclaim: the
@@ -110,13 +110,12 @@ class ReachabilityOracle {
   };
 
   /// Rebuilds the graph as of sim time `t` from the event log.
-  void snapshot_at(SimTime t,
-                   std::map<ProcessId, std::set<ProcessId>>& edges,
-                   std::set<ProcessId>& roots) const;
+  void snapshot_at(SimTime t, FlatMap<ProcessId, FlatSet<ProcessId>>& edges,
+                   FlatSet<ProcessId>& roots) const;
 
   std::vector<Event> history_;
-  std::map<ProcessId, std::set<ProcessId>> edges_;
-  std::set<ProcessId> roots_;
+  FlatMap<ProcessId, FlatSet<ProcessId>> edges_;
+  FlatSet<ProcessId> roots_;
 };
 
 }  // namespace cgc

@@ -94,7 +94,8 @@ ProcessId pick(const std::vector<ProcessId>& v, Rng& rng) {
   return v[rng.below(v.size())];
 }
 
-ProcessId pick(const std::set<ProcessId>& s, Rng& rng) {
+template <typename SortedIdSet>
+ProcessId pick(const SortedIdSet& s, Rng& rng) {
   auto it = s.begin();
   std::advance(it, static_cast<long>(rng.below(s.size())));
   return *it;
@@ -240,7 +241,7 @@ std::vector<MutatorOp> generate_trace(const ScenarioSpec& spec) {
   // Teardown: sever root-held references so the run ends with garbage for
   // the engines to find (and the oracle to adjudicate).
   for (ProcessId root : st.oracle.roots()) {
-    const std::set<ProcessId> held(st.oracle.refs_of(root));
+    const FlatSet<ProcessId> held = st.oracle.refs_of(root);
     for (ProcessId t : held) {
       if (rng.chance(spec.teardown_fraction) && st.oracle.holds(root, t)) {
         emit({MutatorOp::Kind::kDrop, root, t, {}});

@@ -4,15 +4,23 @@
 // GC cycles, GGD rounds — runs as events on one virtual clock. Determinism
 // comes from (time, sequence) ordering: ties on the clock break by insertion
 // order, and all randomness is drawn from seeded `Rng` streams.
+//
+// The event loop is allocation-free on the hot path: events live in a
+// 4-ary implicit heap (one contiguous array, shallower than a binary heap
+// and sift-down children share a cache line), and each event's action is
+// an `InlineFunction` whose capture state — every closure the system
+// schedules fits in 48 bytes — is stored inside the event slot itself.
+// Popping moves the root event out legitimately (we own the heap), which
+// retires the old `const_cast` move from `priority_queue::top()`.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/inline_function.hpp"
 
 namespace cgc {
 
@@ -20,31 +28,41 @@ using SimTime = std::uint64_t;
 
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  /// Captures up to 48 bytes inline — the largest closure the system
+  /// schedules (network delivery: vtable pointer-free `this` + a 24-byte
+  /// byte vector) fits with room to spare; bigger ones degrade to one
+  /// heap cell, not a correctness problem.
+  using Action = InlineFunction<48>;
 
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedules `action` to run `delay` ticks from now.
   void schedule_in(SimTime delay, Action action) {
-    queue_.push(Event{now_ + delay, next_seq_++, std::move(action)});
+    push(Event{now_ + delay, next_seq_++, std::move(action)});
   }
 
   /// Schedules `action` at an absolute virtual time (must not be in the
   /// past).
   void schedule_at(SimTime when, Action action) {
     CGC_CHECK(when >= now_);
-    queue_.push(Event{when, next_seq_++, std::move(action)});
+    push(Event{when, next_seq_++, std::move(action)});
   }
 
   /// Runs one event; returns false when the queue is empty.
   bool step() {
-    if (queue_.empty()) {
+    if (heap_.empty()) {
       return false;
     }
-    // Moving the action out before popping keeps the queue reentrant: the
-    // action may schedule further events.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    // Move the root out before re-heapifying so the action can schedule
+    // further events reentrantly (the heap stays valid throughout).
+    Event ev = std::move(heap_.front());
+    if (heap_.size() > 1) {
+      heap_.front() = std::move(heap_.back());
+      heap_.pop_back();
+      sift_down(0);
+    } else {
+      heap_.pop_back();
+    }
     CGC_CHECK(ev.when >= now_);
     now_ = ev.when;
     ++executed_;
@@ -60,10 +78,10 @@ class Simulator {
         return true;
       }
     }
-    return queue_.empty();
+    return heap_.empty();
   }
 
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
  private:
@@ -72,17 +90,66 @@ class Simulator {
     std::uint64_t seq = 0;
     Action action;
 
-    // Inverted comparison: priority_queue is a max-heap, we want the
-    // earliest (time, seq) first.
-    bool operator<(const Event& other) const {
+    /// Earliest (time, seq) runs first; seq breaks clock ties by
+    /// insertion order — the determinism contract.
+    [[nodiscard]] bool before(const Event& other) const {
       if (when != other.when) {
-        return when > other.when;
+        return when < other.when;
       }
-      return seq > other.seq;
+      return seq < other.seq;
     }
   };
 
-  std::priority_queue<Event> queue_;
+  static constexpr std::size_t kArity = 4;
+
+  // Hole-style sifting: the displaced event rides in a local while
+  // parents/children shift into the hole, so each level costs one Event
+  // relocation (one InlineFunction move) instead of the three a
+  // std::swap would.
+
+  void push(Event ev) {
+    heap_.push_back(std::move(ev));
+    std::size_t i = heap_.size() - 1;
+    if (i == 0 || !heap_[i].before(heap_[(i - 1) / kArity])) {
+      return;
+    }
+    Event hole = std::move(heap_[i]);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!hole.before(heap_[parent])) {
+        break;
+      }
+      heap_[i] = std::move(heap_[parent]);
+      i = parent;
+    }
+    heap_[i] = std::move(hole);
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    Event hole = std::move(heap_[i]);
+    for (;;) {
+      const std::size_t first_child = i * kArity + 1;
+      if (first_child >= n) {
+        break;
+      }
+      std::size_t best = first_child;
+      const std::size_t last_child = std::min(first_child + kArity, n);
+      for (std::size_t c = first_child + 1; c < last_child; ++c) {
+        if (heap_[c].before(heap_[best])) {
+          best = c;
+        }
+      }
+      if (!heap_[best].before(hole)) {
+        break;
+      }
+      heap_[i] = std::move(heap_[best]);
+      i = best;
+    }
+    heap_[i] = std::move(hole);
+  }
+
+  std::vector<Event> heap_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -5,23 +5,47 @@
 namespace cgc {
 
 bool DependencyVector::leq(const DependencyVector& other) const {
-  for (const auto& [p, ts] : entries_) {
-    if (ts.effective_index() > other.get(p).effective_index()) {
+  // Two-pointer sweep over both sorted vectors; keys only in `other` can
+  // never violate ≤, keys only here must be effectively 0.
+  auto a = entries_.begin();
+  auto b = other.entries_.begin();
+  while (a != entries_.end()) {
+    while (b != other.entries_.end() && b->first < a->first) {
+      ++b;
+    }
+    const std::uint64_t theirs =
+        (b != other.entries_.end() && b->first == a->first)
+            ? b->second.effective_index()
+            : 0;
+    if (a->second.effective_index() > theirs) {
       return false;
     }
+    ++a;
   }
   return true;
 }
 
 bool DependencyVector::effective_equal(const DependencyVector& other) const {
-  for (const auto& [p, ts] : entries_) {
-    if (ts.effective_index() != other.get(p).effective_index()) {
-      return false;
-    }
-  }
-  for (const auto& [p, ts] : other.entries_) {
-    if (ts.effective_index() != get(p).effective_index()) {
-      return false;
+  auto a = entries_.begin();
+  auto b = other.entries_.begin();
+  while (a != entries_.end() || b != other.entries_.end()) {
+    if (b == other.entries_.end() ||
+        (a != entries_.end() && a->first < b->first)) {
+      if (a->second.effective_index() != 0) {
+        return false;
+      }
+      ++a;
+    } else if (a == entries_.end() || b->first < a->first) {
+      if (b->second.effective_index() != 0) {
+        return false;
+      }
+      ++b;
+    } else {
+      if (a->second.effective_index() != b->second.effective_index()) {
+        return false;
+      }
+      ++a;
+      ++b;
     }
   }
   return true;

@@ -11,13 +11,20 @@
 // both matches the unbounded, dynamically growing process universe of a
 // distributed object system and keeps the space overhead proportional to
 // the number of acquaintances rather than the number of objects.
+//
+// Representation: a key-sorted `FlatMap` — entries are contiguous, lookups
+// scan linearly below 8 entries (the common acquaintance count), and the
+// component-wise merge of Fig. 6 is a single two-pointer sweep over both
+// vectors instead of one ordered-map lookup per entry. Iteration order
+// (strictly increasing ProcessId) is unchanged from the previous
+// `std::map`, so the delta-encoded wire format is byte-identical.
 #pragma once
 
-#include <map>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 #include "vclock/timestamp.hpp"
 
@@ -47,11 +54,16 @@ class DependencyVector {
     set(p, Timestamp::merge(get(p), ts));
   }
 
-  /// Component-wise merge of a whole vector (the `max` loops of Fig. 6).
+  /// Component-wise merge of a whole vector (the `max` loops of Fig. 6):
+  /// one linear two-pointer sweep. Entries never hold Timestamp{} (set()
+  /// erases them), so the merged result needs no zero filtering.
   void merge(const DependencyVector& other) {
-    for (const auto& [p, ts] : other.entries_) {
-      merge_entry(p, ts);
+    if (this == &other) {
+      return;
     }
+    entries_.merge_with(other.entries_, [](Timestamp a, Timestamp b) {
+      return Timestamp::merge(a, b);
+    });
   }
 
   /// Bumps the creation-event index for `p` by one and returns the new
@@ -85,7 +97,7 @@ class DependencyVector {
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
   /// Deterministically ordered iteration for printing and hashing.
-  [[nodiscard]] const std::map<ProcessId, Timestamp>& entries() const {
+  [[nodiscard]] const FlatMap<ProcessId, Timestamp>& entries() const {
     return entries_;
   }
 
@@ -96,7 +108,7 @@ class DependencyVector {
   [[nodiscard]] std::string str() const;
 
  private:
-  std::map<ProcessId, Timestamp> entries_;
+  FlatMap<ProcessId, Timestamp> entries_;
 };
 
 std::ostream& operator<<(std::ostream& os, const DependencyVector& dv);

@@ -7,15 +7,7 @@ namespace cgc {
 std::string DvLog::str(const std::vector<ProcessId>& universe) const {
   std::ostringstream ss;
   for (ProcessId q : universe) {
-    auto it = rows_.find(q);
-    ss << "DV[" << q.str() << "] = ";
-    if (it == rows_.end()) {
-      DependencyVector empty;
-      ss << empty.str(universe);
-    } else {
-      ss << it->second.str(universe);
-    }
-    ss << '\n';
+    ss << "DV[" << q.str() << "] = " << row(q).str(universe) << '\n';
   }
   return ss.str();
 }

@@ -1,7 +1,7 @@
 // The two-dimensional log DV_i each global root maintains (§3.3 item 1,
 // §3.4).
 //
-// `rows()[q]` is the best locally-held approximation of the dependency
+// `row(q)` is the best locally-held approximation of the dependency
 // vector of the latest known log-keeping event of process `q`. Row `self()`
 // describes this global root's own latest event. Rows for third parties
 // (processes this root merely forwarded references to) hold entries logged
@@ -11,12 +11,22 @@
 // Space bound: one row per acquaintance ever heard of — NOT one row per
 // past event. This is the paper's answer to the unbounded history of
 // Fowler & Zwaenepoel's reconstruction (§3.3, §5).
+//
+// Representation: rows are interned — a sorted FlatMap maps each
+// acquaintance's sparse ProcessId to a dense uint32 slot in one
+// contiguous row vector, so the per-message row touches of Fig. 6 cost a
+// small-vector search plus an array index instead of an ordered-map
+// descent. Iteration (`rows()`) walks the index in increasing ProcessId
+// order — exactly the order the old `std::map` produced, which the
+// delta-encoded wire format depends on.
 #pragma once
 
-#include <map>
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 #include "vclock/dependency_vector.hpp"
 
@@ -29,14 +39,30 @@ class DvLog {
 
   [[nodiscard]] ProcessId self() const { return self_; }
 
-  /// Mutable access to a row, creating it if absent.
-  DependencyVector& row(ProcessId q) { return rows_[q]; }
+  /// Mutable access to a row, creating (interning) it if absent.
+  /// NOTE: unlike the std::map this replaced, the returned reference is
+  /// invalidated by a later `row()` call that interns a NEW acquaintance
+  /// (the slot vector may reallocate) — re-fetch instead of caching it
+  /// across interning calls.
+  DependencyVector& row(ProcessId q) {
+    auto [it, inserted] = index_.emplace(q, 0u);
+    if (inserted) {
+      if (free_.empty()) {
+        it->second = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+      } else {
+        it->second = free_.back();
+        free_.pop_back();
+      }
+    }
+    return slots_[it->second];
+  }
 
   /// Read-only row access; absent rows read as the empty vector.
   [[nodiscard]] const DependencyVector& row(ProcessId q) const {
     static const DependencyVector kEmpty;
-    auto it = rows_.find(q);
-    return it == rows_.end() ? kEmpty : it->second;
+    auto it = index_.find(q);
+    return it == index_.end() ? kEmpty : slots_[it->second];
   }
 
   DependencyVector& self_row() { return row(self_); }
@@ -50,19 +76,72 @@ class DvLog {
   /// Records a fresh local log-keeping event: bumps own index in own row.
   Timestamp new_local_event() { return self_row().increment(self_); }
 
-  [[nodiscard]] bool has_row(ProcessId q) const { return rows_.contains(q); }
-  void erase_row(ProcessId q) { rows_.erase(q); }
+  [[nodiscard]] bool has_row(ProcessId q) const { return index_.contains(q); }
 
-  [[nodiscard]] const std::map<ProcessId, DependencyVector>& rows() const {
-    return rows_;
+  void erase_row(ProcessId q) {
+    auto it = index_.find(q);
+    if (it == index_.end()) {
+      return;
+    }
+    slots_[it->second] = DependencyVector{};  // release the row's storage
+    free_.push_back(it->second);
+    index_.erase(it);
   }
+
+  /// Ordered view over (ProcessId, row) pairs, increasing ProcessId.
+  class RowsView {
+   public:
+    class Iterator {
+     public:
+      using Index = FlatMap<ProcessId, std::uint32_t>::const_iterator;
+      Iterator(Index it, const std::vector<DependencyVector>* slots)
+          : it_(it), slots_(slots) {}
+
+      [[nodiscard]] std::pair<ProcessId, const DependencyVector&> operator*()
+          const {
+        return {it_->first, (*slots_)[it_->second]};
+      }
+      Iterator& operator++() {
+        ++it_;
+        return *this;
+      }
+      [[nodiscard]] bool operator!=(const Iterator& o) const {
+        return it_ != o.it_;
+      }
+
+     private:
+      Index it_;
+      const std::vector<DependencyVector>* slots_;
+    };
+
+    RowsView(const FlatMap<ProcessId, std::uint32_t>& index,
+             const std::vector<DependencyVector>& slots)
+        : index_(index), slots_(slots) {}
+
+    [[nodiscard]] Iterator begin() const {
+      return Iterator(index_.begin(), &slots_);
+    }
+    [[nodiscard]] Iterator end() const {
+      return Iterator(index_.end(), &slots_);
+    }
+    [[nodiscard]] std::size_t size() const { return index_.size(); }
+
+   private:
+    const FlatMap<ProcessId, std::uint32_t>& index_;
+    const std::vector<DependencyVector>& slots_;
+  };
+
+  [[nodiscard]] RowsView rows() const { return RowsView(index_, slots_); }
+
+  /// Number of rows held (one per acquaintance ever heard of).
+  [[nodiscard]] std::size_t row_count() const { return index_.size(); }
 
   /// Total number of timestamp entries across all rows (space metric, T6).
   [[nodiscard]] std::size_t entry_count() const {
     std::size_t n = 0;
-    for (const auto& [q, dv] : rows_) {
+    for (const auto& [q, slot] : index_) {
       (void)q;
-      n += dv.size();
+      n += slots_[slot].size();
     }
     return n;
   }
@@ -72,7 +151,11 @@ class DvLog {
 
  private:
   ProcessId self_;
-  std::map<ProcessId, DependencyVector> rows_;
+  /// Sorted interning index: acquaintance id → dense slot.
+  FlatMap<ProcessId, std::uint32_t> index_;
+  /// Row storage, indexed by interned slot; erased slots are recycled.
+  std::vector<DependencyVector> slots_;
+  std::vector<std::uint32_t> free_;
 };
 
 }  // namespace cgc

@@ -29,6 +29,8 @@ enum class FlushPolicy : std::uint8_t {
 
 class BatchingChannel {
  public:
+  /// Default state only exists as an empty hash-table slot.
+  BatchingChannel() = default;
   BatchingChannel(SiteId from, SiteId to) : from_(from), to_(to) {}
 
   /// Encodes `msg` into the pending batch; returns its framed size in

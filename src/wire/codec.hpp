@@ -16,11 +16,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <set>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 #include "vclock/dependency_vector.hpp"
 
@@ -68,8 +67,10 @@ class Encoder {
     }
   }
 
-  /// Same delta scheme for sorted id sets.
-  void process_set(const std::set<ProcessId>& s) {
+  /// Same delta scheme for sorted id sets (any container iterating in
+  /// increasing ProcessId order).
+  template <typename SortedIdSet>
+  void process_set(const SortedIdSet& s) {
     varint(s.size());
     std::uint64_t prev = 0;
     bool first = true;
@@ -88,7 +89,8 @@ class Encoder {
     }
   }
 
-  void row_map(const std::map<ProcessId, DependencyVector>& rows) {
+  template <typename SortedRowMap>
+  void row_map(const SortedRowMap& rows) {
     varint(rows.size());
     std::uint64_t prev = 0;
     bool first = true;
@@ -197,8 +199,8 @@ class Decoder {
     return ok_ ? dv : DependencyVector{};
   }
 
-  std::set<ProcessId> process_set() {
-    std::set<ProcessId> s;
+  FlatSet<ProcessId> process_set() {
+    FlatSet<ProcessId> s;
     const std::uint64_t n = varint();
     std::uint64_t prev = 0;
     for (std::uint64_t i = 0; ok_ && i < n; ++i) {
@@ -208,9 +210,9 @@ class Decoder {
         break;
       }
       prev = (i == 0) ? delta : prev + delta;
-      s.insert(ProcessId{prev});
+      s.insert(ProcessId{prev});  // increasing ids: O(1) append
     }
-    return ok_ ? s : std::set<ProcessId>{};
+    return ok_ ? s : FlatSet<ProcessId>{};
   }
 
   std::vector<ProcessId> process_seq() {
@@ -229,8 +231,8 @@ class Decoder {
     return ok_ ? v : std::vector<ProcessId>{};
   }
 
-  std::map<ProcessId, DependencyVector> row_map() {
-    std::map<ProcessId, DependencyVector> rows;
+  FlatMap<ProcessId, DependencyVector> row_map() {
+    FlatMap<ProcessId, DependencyVector> rows;
     const std::uint64_t n = varint();
     std::uint64_t prev = 0;
     for (std::uint64_t i = 0; ok_ && i < n; ++i) {
@@ -240,9 +242,9 @@ class Decoder {
         break;
       }
       prev = (i == 0) ? delta : prev + delta;
-      rows[ProcessId{prev}] = dependency_vector();
+      rows[ProcessId{prev}] = dependency_vector();  // increasing: append
     }
-    return ok_ ? rows : std::map<ProcessId, DependencyVector>{};
+    return ok_ ? rows : FlatMap<ProcessId, DependencyVector>{};
   }
 
  private:

@@ -18,6 +18,7 @@
 #include <variant>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 #include "ggd/process.hpp"
 #include "net/message.hpp"
@@ -73,7 +74,7 @@ struct EagerEdgeUpdate {
 struct SchelvisProbe {
   ProcessId origin;
   std::vector<ProcessId> path;
-  std::set<ProcessId> visited;
+  FlatSet<ProcessId> visited;
 
   [[nodiscard]] bool operator==(const SchelvisProbe&) const = default;
 };

@@ -185,7 +185,7 @@ class Scenario {
     return oracle_.holds(holder, target);
   }
 
-  [[nodiscard]] const std::set<ProcessId>& refs_of(ProcessId holder) const {
+  [[nodiscard]] const FlatSet<ProcessId>& refs_of(ProcessId holder) const {
     return oracle_.refs_of(holder);
   }
 
@@ -222,7 +222,7 @@ class Scenario {
   }
 
   [[nodiscard]] const std::set<ProcessId>& removed() const { return removed_; }
-  [[nodiscard]] const std::set<ProcessId>& roots() const {
+  [[nodiscard]] const FlatSet<ProcessId>& roots() const {
     return oracle_.roots();
   }
   [[nodiscard]] std::size_t process_count() const {

@@ -88,7 +88,7 @@ TEST(GgdProcess, WalkBlocksOnUnknownPredecessor) {
   LazyLogKeeping lk;
   lk.on_receive_ref(p, P(9));           // outgoing edge, irrelevant
   p.log().self_row().increment(P(7));   // live in-edge from unknown 7
-  std::set<ProcessId> missing, evidence, consulted;
+  FlatSet<ProcessId> missing, evidence, consulted;
   EXPECT_EQ(p.walk_to_root(roots({1}), missing, evidence, consulted),
             GgdProcess::WalkResult::kBlocked);
   EXPECT_TRUE(missing.contains(P(7)));
@@ -103,7 +103,7 @@ TEST(GgdProcess, WalkFollowsKnownRowsToRoot) {
   v2.set(P(2), Timestamp::creation(1));
   DependencyVector row2 = v2;
   (void)p.receive(vector_msg(P(2), P(3), v2, row2), roots({1}));
-  std::set<ProcessId> missing, evidence, consulted;
+  FlatSet<ProcessId> missing, evidence, consulted;
   EXPECT_EQ(p.walk_to_root(roots({1}), missing, evidence, consulted),
             GgdProcess::WalkResult::kReachable);
 }
@@ -127,7 +127,7 @@ TEST(GgdProcess, MultiEdgeMaskingIsPerEdge) {
 
   EXPECT_FALSE(p.removed())
       << "E(9) for edge 1->3 must not mask live edge 1->2 at index 1";
-  std::set<ProcessId> missing, evidence, consulted;
+  FlatSet<ProcessId> missing, evidence, consulted;
   EXPECT_EQ(p.walk_to_root(roots({1}), missing, evidence, consulted),
             GgdProcess::WalkResult::kReachable);
 }

@@ -140,7 +140,7 @@ TEST_P(RandomGraphTest, RandomGraphFullDisconnection) {
   ASSERT_TRUE(s.run());
 
   // Sever every edge the root holds: the whole graph becomes garbage.
-  const std::set<ProcessId> held = s.refs_of(root);
+  const FlatSet<ProcessId> held = s.refs_of(root);
   for (ProcessId t : held) {
     s.drop_ref(root, t);
   }
@@ -185,7 +185,7 @@ TEST_P(RandomGraphTest, RandomPartialDrops) {
   // Fully disconnecting the graph must then flush everything: destruction
   // markers dominate equal-or-lower creation indexes, so the lingering
   // entries are masked and every object is eventually collected.
-  for (ProcessId t : std::set<ProcessId>(s.refs_of(root))) {
+  for (ProcessId t : FlatSet<ProcessId>(s.refs_of(root))) {
     s.drop_ref(root, t);
   }
   ASSERT_TRUE(s.run());

@@ -38,7 +38,7 @@ TEST_P(FaultMatrixTest, SafeUnderCombinedFaultsAndCompleteAfterHeal) {
   ASSERT_TRUE(s.run());
 
   // Sever everything the root holds while the network is still faulty.
-  for (ProcessId t : std::set<ProcessId>(s.refs_of(root))) {
+  for (ProcessId t : FlatSet<ProcessId>(s.refs_of(root))) {
     s.drop_ref(root, t);
   }
   ASSERT_TRUE(s.run());

@@ -48,7 +48,7 @@ TEST_P(FaultParamTest, SafetyHoldsUnderFaults) {
     }
   }
   ASSERT_TRUE(s.run());
-  for (ProcessId t : std::set<ProcessId>(s.refs_of(root))) {
+  for (ProcessId t : FlatSet<ProcessId>(s.refs_of(root))) {
     s.drop_ref(root, t);
   }
   ASSERT_TRUE(s.run());
@@ -172,7 +172,7 @@ TEST(Robustness, FaultFreeChurnIsComprehensive) {
     // Disconnect everything: with the steady-state periodic sweep, every
     // non-root object must be collected (the sweep is what bounds the
     // paper's "unbounded detection latency" in a deployed system).
-    for (ProcessId t : std::set<ProcessId>(s.refs_of(root))) {
+    for (ProcessId t : FlatSet<ProcessId>(s.refs_of(root))) {
       s.drop_ref(root, t);
     }
     ASSERT_TRUE(s.run_with_sweeps());

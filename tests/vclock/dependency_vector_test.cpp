@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.hpp"
+
 namespace cgc {
 namespace {
 
@@ -128,6 +130,77 @@ TEST(DependencyVector, FixedUniverseRendering) {
   dv.set(P(1), Timestamp::destruction(1));
   dv.set(P(2), Timestamp::creation(3));
   EXPECT_EQ(dv.str({P(1), P(2), P(3)}), "(E1, 3, 0)");
+}
+
+// -- Algebraic laws of the Fig. 6 merge, on random vectors ----------------
+//
+// The two-pointer sweep must be a join in the timestamp lattice:
+// commutative, associative, idempotent, with the empty vector as the
+// identity. These laws are what make log merging safe under duplication
+// and reordering (§5), so they are checked for the representation, not
+// assumed from it.
+
+DependencyVector random_dv(Rng& rng, std::uint64_t key_range = 12) {
+  DependencyVector dv;
+  const std::size_t n = rng.below(key_range);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ProcessId p = P(1 + rng.below(key_range));
+    const std::uint64_t index = rng.below(6);
+    if (index == 0) {
+      continue;  // zero timestamps are never stored
+    }
+    dv.set(p, rng.chance(0.3) ? Timestamp::destruction(index)
+                              : Timestamp::creation(index));
+  }
+  return dv;
+}
+
+DependencyVector merged(DependencyVector a, const DependencyVector& b) {
+  a.merge(b);
+  return a;
+}
+
+TEST(DependencyVector, MergeIsCommutative) {
+  Rng rng(101);
+  for (int i = 0; i < 500; ++i) {
+    const DependencyVector a = random_dv(rng);
+    const DependencyVector b = random_dv(rng);
+    EXPECT_EQ(merged(a, b), merged(b, a)) << a.str() << " vs " << b.str();
+  }
+}
+
+TEST(DependencyVector, MergeIsAssociative) {
+  Rng rng(102);
+  for (int i = 0; i < 500; ++i) {
+    const DependencyVector a = random_dv(rng);
+    const DependencyVector b = random_dv(rng);
+    const DependencyVector c = random_dv(rng);
+    EXPECT_EQ(merged(merged(a, b), c), merged(a, merged(b, c)));
+  }
+}
+
+TEST(DependencyVector, MergeIsIdempotentWithEmptyIdentity) {
+  Rng rng(103);
+  for (int i = 0; i < 500; ++i) {
+    const DependencyVector a = random_dv(rng);
+    EXPECT_EQ(merged(a, a), a);
+    EXPECT_EQ(merged(a, DependencyVector{}), a);
+    EXPECT_EQ(merged(DependencyVector{}, a), a);
+  }
+}
+
+TEST(DependencyVector, MergeMatchesEntrywiseReference) {
+  // The sweep agrees with the obvious per-entry loop it replaced.
+  Rng rng(104);
+  for (int i = 0; i < 500; ++i) {
+    const DependencyVector a = random_dv(rng);
+    const DependencyVector b = random_dv(rng);
+    DependencyVector ref = a;
+    for (const auto& [p, ts] : b.entries()) {
+      ref.merge_entry(p, ts);
+    }
+    EXPECT_EQ(merged(a, b), ref);
+  }
 }
 
 }  // namespace

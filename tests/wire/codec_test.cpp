@@ -26,8 +26,8 @@ DependencyVector random_dv(Rng& rng, std::size_t max_entries = 12) {
   return dv;
 }
 
-std::set<ProcessId> random_set(Rng& rng, std::size_t max_entries = 8) {
-  std::set<ProcessId> s;
+FlatSet<ProcessId> random_set(Rng& rng, std::size_t max_entries = 8) {
+  FlatSet<ProcessId> s;
   const std::size_t n = rng.below(max_entries + 1);
   for (std::size_t i = 0; i < n; ++i) {
     s.insert(P(rng.below(1 << 16)));

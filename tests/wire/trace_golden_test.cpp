@@ -1,0 +1,99 @@
+// Determinism lock across representation changes.
+//
+// The dense-core refactor (FlatMap dependency vectors, interned DV-log
+// rows, the 4-ary event heap) promises that NOTHING wire-observable
+// moved: same packets, same bytes, same fault fates, same times. These
+// golden hashes were recorded by running the exact workloads below on the
+// pre-refactor tree (std::map vectors, std::priority_queue scheduler); a
+// mismatch means a change perturbed message contents or ordering — not
+// merely an internal representation.
+//
+// If a FUTURE change intentionally alters the wire protocol or event
+// ordering, re-record the constants and say so in the commit: this test
+// is the tripwire that makes such changes explicit.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "workload/builders.hpp"
+#include "workload/scenario.hpp"
+
+namespace cgc {
+namespace {
+
+std::uint64_t fnv(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// FNV-1a over every packet's full observable record: send time,
+/// endpoints, exact bytes, drop fate, and per-copy delivery times.
+std::uint64_t trace_hash(const wire::WireTrace& t) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& p : t.packets()) {
+    h = fnv(h, p.sent_at);
+    h = fnv(h, p.from.value());
+    h = fnv(h, p.to.value());
+    h = fnv(h, p.bytes.size());
+    for (std::uint8_t b : p.bytes) {
+      h ^= b;
+      h *= 1099511628211ULL;
+    }
+    h = fnv(h, p.dropped ? 1 : 0);
+    for (SimTime d : p.delivered_at) {
+      h = fnv(h, d);
+    }
+  }
+  return h;
+}
+
+struct Golden {
+  std::uint64_t seed;
+  double fault;
+  std::size_t packets;
+  std::uint64_t hash;
+};
+
+void run_and_check(const Golden& golden) {
+  Scenario s(Scenario::Config{
+      .net = NetworkConfig{.min_latency = 1,
+                           .max_latency = 4,
+                           .drop_rate = golden.fault,
+                           .duplicate_rate = golden.fault,
+                           .seed = golden.seed},
+  });
+  wire::WireTrace trace;
+  s.net().set_trace(&trace);
+  const ProcessId root = s.add_root();
+  Rng rng(golden.seed ^ 0x5eedULL);
+  build_random_graph(s, root, 14, 10, rng);
+  s.run();
+  const auto elems = build_ring_with_subcycles(s, root, 6);
+  s.run();
+  s.drop_ref(root, elems.front());
+  s.run_with_sweeps();
+  EXPECT_EQ(trace.size(), golden.packets)
+      << "packet COUNT changed vs the pre-refactor recording (seed "
+      << golden.seed << ")";
+  EXPECT_EQ(trace_hash(trace), golden.hash)
+      << "packet BYTES/ORDER changed vs the pre-refactor recording (seed "
+      << golden.seed << ")";
+}
+
+TEST(TraceGolden, FaultyRunMatchesPreRefactorRecording) {
+  run_and_check({99, 0.10, 1050, 0x0359a72679589b30ULL});
+}
+
+TEST(TraceGolden, FaultFreeRunMatchesPreRefactorRecording) {
+  run_and_check({7, 0.0, 868, 0x8597902a103d8c1fULL});
+}
+
+TEST(TraceGolden, LowFaultRunMatchesPreRefactorRecording) {
+  run_and_check({123456, 0.05, 1004, 0x0b1d56effe8f5accULL});
+}
+
+}  // namespace
+}  // namespace cgc
