@@ -9,19 +9,29 @@
 // reports, per configuration:
 //   * events/sec        — simulator event throughput, wall-clock
 //   * bytes/reclaimed   — wire bytes paid per collected object
-//   * peak RSS          — VmHWM from /proc/self/status (kB; 0 if absent)
+//   * peak RSS          — VmHWM from /proc/self/status where available,
+//                         getrusage(ru_maxrss) elsewhere; the JSON field
+//                         is omitted entirely when neither source works
+//                         (a misleading 0 would read as "no memory used")
+//   * hand-off cost     — migration snapshots, redirects, bounces and
+//                         exact migration wire bytes (migrate_pct > 0)
 // into BENCH_scale.json next to the other machine-readable bench files.
 //
-// `bench_scale --quick` runs only the smallest configuration — the CI
+// `bench_scale --quick` runs only the smallest configurations — the CI
 // budget; the full ladder is the local/perf-lab run.
 #include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "bench_json.hpp"
 #include "common/dense_map.hpp"
@@ -39,6 +49,9 @@ struct ScaleConfig {
   std::uint64_t roots = 0;
   std::uint64_t processes = 0;  // target population (roots included)
   std::uint64_t churn_ops = 0;  // sustained mutator ops after build-up
+  /// Percentage of churn ops that are cross-site hand-offs (the
+  /// migration-churn knob; 0 reproduces the pre-migration workload).
+  std::uint64_t migrate_pct = 0;
 };
 
 struct ScaleResult {
@@ -51,22 +64,37 @@ struct ScaleResult {
   double bytes_per_reclaimed = 0;
   std::uint64_t packets = 0;
   std::uint64_t log_entries = 0;
-  std::uint64_t peak_rss_kb = 0;
+  std::optional<std::uint64_t> peak_rss_kb;
+  GgdEngine::MigrationStats migration;
+  std::uint64_t migration_bytes = 0;
 };
 
-/// VmHWM (peak resident set) in kB; 0 when /proc is unavailable.
-std::uint64_t peak_rss_kb() {
+/// Peak resident set in kB: VmHWM from /proc/self/status (Linux), falling
+/// back to getrusage's ru_maxrss elsewhere; nullopt when unmeasurable.
+std::optional<std::uint64_t> peak_rss_kb() {
   std::ifstream status("/proc/self/status");
   std::string line;
   while (std::getline(status, line)) {
     if (line.rfind("VmHWM:", 0) == 0) {
       std::istringstream ss(line.substr(6));
       std::uint64_t kb = 0;
-      ss >> kb;
-      return kb;
+      if (ss >> kb) {
+        return kb;
+      }
     }
   }
-  return 0;
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0 && usage.ru_maxrss > 0) {
+#if defined(__APPLE__)
+    // macOS reports ru_maxrss in bytes, not kilobytes.
+    return static_cast<std::uint64_t>(usage.ru_maxrss) / 1024;
+#else
+    return static_cast<std::uint64_t>(usage.ru_maxrss);
+#endif
+  }
+#endif
+  return std::nullopt;
 }
 
 /// The mutator model: processes cluster under the root of their cohort;
@@ -133,12 +161,30 @@ ScaleResult run_scale(const ScaleConfig& cfg) {
   sim.run();
 
   // Sustained churn: create / cross-link (cycles included) / sever whole
-  // branches; sweep periodically like a deployed system.
+  // branches — plus cross-site hand-offs when the migration knob is on;
+  // sweep periodically like a deployed system. The migration share comes
+  // out of the CREATE share: severing stays at its full rate, because
+  // starving collection makes the population (and the relayed row maps
+  // every control message carries) grow without bound — that measures
+  // leak dynamics, not hand-off cost.
+  const std::uint64_t migrate_cut = cfg.migrate_pct;
+  CGC_CHECK_MSG(migrate_cut <= 30,
+                "migrate_pct beyond the create share would silently change "
+                "the link/sever mix and no longer isolate hand-off cost");
   for (std::uint64_t op = 0; op < cfg.churn_ops; ++op) {
     const std::uint64_t dice = rng.below(100);
-    if (dice < 30) {
+    if (dice < migrate_cut) {
+      // Hand a random live process off to a random other site (the load
+      // balancer's move). In-transit movers are skipped, like every
+      // other op whose actor is unavailable.
+      const ProcessId p = pick(population);
+      if (alive(p) && !eng.migrating(p)) {
+        const SiteId dst = SiteId{rng.below(cfg.sites)};
+        eng.migrate(p, dst);  // no-op when dst is already p's site
+      }
+    } else if (dice < 30) {
       const ProcessId creator = pick(population);
-      if (alive(creator)) {
+      if (alive(creator) && !eng.migrating(creator)) {
         const ProcessId newborn = ProcessId{++id_counter};
         eng.create_object(creator, newborn, site_for(newborn.value()));
         population.push_back(newborn);
@@ -148,7 +194,7 @@ ScaleResult run_scale(const ScaleConfig& cfg) {
       // i introduces itself to j (possible cycle edge j -> i).
       const ProcessId i = pick(population);
       const ProcessId j = pick(population);
-      if (i != j && alive(i) && alive(j)) {
+      if (i != j && alive(i) && alive(j) && !eng.migrating(i)) {
         eng.send_own_ref(i, j);
         add_edge(j, i);
       }
@@ -156,7 +202,8 @@ ScaleResult run_scale(const ScaleConfig& cfg) {
       // i forwards a held reference of k to j (lazy third-party, §3.4).
       const auto [i, k] = edges[rng.below(edges.size())];
       const ProcessId j = pick(population);
-      if (j != k && j != i && alive(i) && alive(j) && alive(k)) {
+      if (j != k && j != i && alive(i) && alive(j) && alive(k) &&
+          !eng.migrating(i)) {
         eng.send_third_party_ref(i, k, j);
         add_edge(j, k);
       }
@@ -168,7 +215,7 @@ ScaleResult run_scale(const ScaleConfig& cfg) {
       edges[idx] = edges.back();
       edges.pop_back();
       edge_set.erase({holder, target});
-      if (alive(holder) && alive(target)) {
+      if (alive(holder) && alive(target) && !eng.migrating(holder)) {
         eng.drop_ref(holder, target);
       }
     }
@@ -206,6 +253,8 @@ ScaleResult run_scale(const ScaleConfig& cfg) {
   res.packets = net.stats().packets().sent;
   res.log_entries = eng.total_log_entries();
   res.peak_rss_kb = peak_rss_kb();
+  res.migration = eng.migration_stats();
+  res.migration_bytes = net.stats().of(MessageKind::kMigration).bytes_sent;
   return res;
 }
 
@@ -245,8 +294,26 @@ void emit(const std::string& path, const std::vector<ScaleResult>& results) {
     json.value(r.packets);
     json.key("log_entries");
     json.value(r.log_entries);
-    json.key("peak_rss_kb");
-    json.value(r.peak_rss_kb);
+    if (r.peak_rss_kb.has_value()) {
+      // Omitted entirely when unmeasurable: a literal 0 would be read as
+      // a (miraculous) measurement by downstream tooling.
+      json.key("peak_rss_kb");
+      json.value(*r.peak_rss_kb);
+    }
+    if (r.cfg.migrate_pct > 0) {
+      json.key("migrate_pct");
+      json.value(r.cfg.migrate_pct);
+      json.key("handoffs");
+      json.value(r.migration.completed);
+      json.key("handoff_redirects");
+      json.value(r.migration.forwarded);
+      json.key("handoff_bounces");
+      json.value(r.migration.bounced);
+      json.key("handoff_reemissions");
+      json.value(r.migration.reemitted);
+      json.key("migration_bytes");
+      json.value(r.migration_bytes);
+    }
     json.close('}');
   }
   json.close('}');
@@ -266,9 +333,13 @@ int main(int argc, char** argv) {
   std::vector<ScaleConfig> configs = {
       {"small", /*sites=*/16, /*roots=*/32, /*processes=*/1'000,
        /*churn=*/4'000},
+      // Same workload with 8% of churn ops handing processes off between
+      // sites: the delta against "small" is the cost of migration.
+      {"small_migrate", 16, 32, 1'000, 4'000, /*migrate_pct=*/8},
   };
   if (!quick) {
     configs.push_back({"medium", 64, 128, 5'000, 20'000});
+    configs.push_back({"medium_migrate", 64, 128, 5'000, 20'000, 8});
     configs.push_back({"large", 256, 512, 20'000, 60'000});
   }
 
@@ -282,8 +353,16 @@ int main(int argc, char** argv) {
               << static_cast<std::uint64_t>(r.wall_ms)
               << " events/s=" << static_cast<std::uint64_t>(r.events_per_sec)
               << " reclaimed=" << r.reclaimed << " bytes/reclaimed="
-              << static_cast<std::uint64_t>(r.bytes_per_reclaimed)
-              << " peak_rss_kb=" << r.peak_rss_kb << '\n';
+              << static_cast<std::uint64_t>(r.bytes_per_reclaimed);
+    if (r.peak_rss_kb.has_value()) {
+      std::cout << " peak_rss_kb=" << *r.peak_rss_kb;
+    }
+    if (cfg.migrate_pct > 0) {
+      std::cout << " handoffs=" << r.migration.completed
+                << " redirects=" << r.migration.forwarded
+                << " migration_bytes=" << r.migration_bytes;
+    }
+    std::cout << '\n';
     results.push_back(std::move(r));
   }
   emit("BENCH_scale.json", results);

@@ -74,6 +74,12 @@ void SchelvisEngine::apply(const MutatorOp& op) {
     case MutatorOp::Kind::kDrop:
       remove_edge(op.a, op.b);
       break;
+    case MutatorOp::Kind::kMigrate:
+      // Unsupported: probes route by the static id->site mapping, so a
+      // hand-off would silently diverge. The conformance runner's contract
+      // excludes migration traces for this engine.
+      CGC_CHECK_MSG(false, "schelvis baseline does not support migration");
+      break;
   }
 }
 

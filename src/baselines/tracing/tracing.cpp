@@ -45,6 +45,10 @@ void TracingCollector::apply(const MutatorOp& op) {
       it->second.out.erase(op.b);
       break;
     }
+    case MutatorOp::Kind::kMigrate:
+      // Tracing is site-agnostic: the graph is inspected in situ, so a
+      // hand-off changes nothing it can observe. Supported as a no-op.
+      break;
   }
 }
 

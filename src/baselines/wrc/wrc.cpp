@@ -61,6 +61,12 @@ void WrcEngine::apply(const MutatorOp& op) {
     case MutatorOp::Kind::kDrop:
       return_weight(op.a, op.b);
       break;
+    case MutatorOp::Kind::kMigrate:
+      // Unsupported: weight returns travel to the target's home site, so
+      // a hand-off would strand returned weight. The conformance runner's
+      // contract excludes migration traces for this engine.
+      CGC_CHECK_MSG(false, "wrc baseline does not support migration");
+      break;
   }
 }
 

@@ -145,8 +145,19 @@ class FlatMap {
   /// Two-pointer union with `other`: on common keys the stored value
   /// becomes `combine(ours, theirs)`, absent keys copy over. Linear in
   /// the two sizes — the loop Fig. 6's `max` merge compiles down to.
+  ///
+  /// Aliasing contract: `m.merge_with(m, f)` is defined and applies
+  /// `f(v, v)` to every value in place (every key is "common"). The
+  /// general path below would walk `other` while reallocating the same
+  /// storage, so self-merge takes a dedicated in-place branch.
   template <typename Combine>
   void merge_with(const FlatMap& other, Combine combine) {
+    if (this == &other) {
+      for (value_type& e : entries_) {
+        e.second = combine(e.second, e.second);
+      }
+      return;
+    }
     if (other.entries_.empty()) {
       return;
     }

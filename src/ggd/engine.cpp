@@ -55,11 +55,13 @@ void GgdEngine::create_object(ProcessId creator, ProcessId newborn,
 }
 
 void GgdEngine::send_own_ref(ProcessId i, ProcessId j) {
+  CGC_CHECK_MSG(!migrating(i), "mutator op on a process in hand-off");
   logkeeping_.on_send_own_ref(process(i), j);
   send_ref_transfer(site_of(i), site_of(j), j, i);
 }
 
 void GgdEngine::send_third_party_ref(ProcessId i, ProcessId k, ProcessId j) {
+  CGC_CHECK_MSG(!migrating(i), "mutator op on a process in hand-off");
   logkeeping_.on_send_third_party_ref(process(i), k, j);
   send_ref_transfer(site_of(i), site_of(j), j, k);
 }
@@ -78,6 +80,8 @@ void GgdEngine::on_ref_transfer(const wire::RefTransfer& transfer) {
 }
 
 void GgdEngine::local_acquire(ProcessId j, ProcessId k) {
+  CGC_CHECK_MSG(!migrating(j) && !migrating(k),
+                "local acquire touching a process in hand-off");
   logkeeping_.on_receive_ref(process(j), k);
   if (on_ref_delivered_) {
     on_ref_delivered_(j, k);
@@ -95,6 +99,7 @@ void GgdEngine::local_acquire(ProcessId j, ProcessId k) {
 }
 
 void GgdEngine::drop_ref(ProcessId j, ProcessId k) {
+  CGC_CHECK_MSG(!migrating(j), "mutator op on a process in hand-off");
   GgdMessage msg = logkeeping_.on_drop_ref(process(j), k);
   pending_destructions_[{j, k}] = msg;
   deliver_ggd(std::move(msg));
@@ -102,13 +107,152 @@ void GgdEngine::drop_ref(ProcessId j, ProcessId k) {
 
 void GgdEngine::deliver(SiteId from, SiteId to, const wire::WireMessage& msg) {
   (void)from;
-  (void)to;
   if (const auto* transfer = std::get_if<wire::RefTransfer>(&msg.body)) {
+    if (reroute_if_stale(to, transfer->recipient, msg)) {
+      return;
+    }
     on_ref_transfer(*transfer);
   } else if (const auto* control = std::get_if<wire::GgdControl>(&msg.body)) {
+    if (reroute_if_stale(to, control->msg.to, msg)) {
+      return;
+    }
     on_ggd_message(control->msg);
+  } else if (const auto* state = std::get_if<wire::MigrateState>(&msg.body)) {
+    on_migrate_state(*state);
+  } else if (const auto* ack = std::get_if<wire::MigrateAck>(&msg.body)) {
+    on_migrate_ack(to, *ack);
   } else {
     CGC_CHECK_MSG(false, "unexpected wire body at a GGD site");
+  }
+}
+
+bool GgdEngine::reroute_if_stale(SiteId at, ProcessId target,
+                                 const wire::WireMessage& msg) {
+  auto t = in_transit_.find(target);
+  if (t != in_transit_.end()) {
+    if (at == t->second.dst) {
+      // Reached the hand-off destination ahead of the state snapshot:
+      // held until the state lands, then replayed in arrival order. This
+      // is what makes the log transfer atomic at the protocol level — no
+      // message is processed against half-moved state.
+      transit_buffer_[target].push_back(msg);
+      return true;
+    }
+    redirect(at, target, msg);
+    return true;
+  }
+  if (site_by_idx_[index_of(target)] != at) {
+    // Stale addressing: the packet was sent before a completed hand-off
+    // flipped the site-of-record (or chased a chain of them).
+    redirect(at, target, msg);
+    return true;
+  }
+  return false;
+}
+
+void GgdEngine::redirect(SiteId at, ProcessId target,
+                         const wire::WireMessage& msg) {
+  auto it = stubs_.find({at, target});
+  if (it == stubs_.end()) {
+    // No live stub: the packet bounces. A bounced reference transfer is
+    // indistinguishable from a lost packet (the oracle counts delivered
+    // edges only); bounced destructions and inquiries are re-emitted by
+    // the periodic sweep towards the current site-of-record.
+    ++migration_stats_.bounced;
+    return;
+  }
+  ForwardStub& stub = it->second;
+  if (stub.armed && stub.ttl == 0) {
+    // An armed stub out of redirects is expired (reachable via
+    // set_redirect_ttl(0): "serves zero more redirects after the ack").
+    stubs_.erase(it);
+    ++migration_stats_.bounced;
+    return;
+  }
+  ++migration_stats_.forwarded;
+  const SiteId next = stub.next;
+  if (stub.armed && --stub.ttl == 0) {
+    stubs_.erase(it);
+  }
+  net_.send(at, next, msg);
+}
+
+bool GgdEngine::migrate(ProcessId p, SiteId dst) {
+  const std::uint32_t idx = index_of(p);
+  if (procs_[idx].removed() || in_transit_.contains(p) ||
+      site_by_idx_[idx] == dst) {
+    return false;
+  }
+  const SiteId src = site_by_idx_[idx];
+  attach_site(dst);
+  wire::MigrateState ms;
+  ms.migration_id = ++migration_counter_;
+  ms.proc = p;
+  ms.src = src;
+  ms.dst = dst;
+  ms.snap = procs_[idx].export_state();
+  in_transit_.emplace(p, TransitRecord{ms.migration_id, src, dst});
+  stubs_[{src, p}] =
+      ForwardStub{dst, redirect_ttl_, /*armed=*/false, /*sweeps_survived=*/0};
+  pending_handoffs_.emplace(ms.migration_id, ms);
+  ++migration_stats_.started;
+  net_.send(src, dst, wire::WireMessage{MessageKind::kMigration, ms});
+  return true;
+}
+
+void GgdEngine::on_migrate_state(const wire::MigrateState& ms) {
+  if (!applied_migrations_.insert(ms.migration_id)) {
+    // Duplicated or re-emitted snapshot after the original landed: only
+    // the acknowledgement was lost — re-confirm.
+    net_.send(ms.dst, ms.src,
+              wire::WireMessage{MessageKind::kMigration,
+                                wire::MigrateAck{ms.migration_id, ms.proc,
+                                                 ms.dst}});
+    return;
+  }
+  const std::uint32_t idx = index_of(ms.proc);
+  GgdProcess& proc = procs_[idx];
+  CGC_CHECK_MSG(!proc.removed(), "a frozen mover cannot have been collected");
+  // The wire's copy is authoritative: the destination resumes from the
+  // delivered bytes, which is what the codec round-trip tests pin down.
+  proc.import_state(ms.snap);
+  site_by_idx_[idx] = ms.dst;
+  in_transit_.erase(ms.proc);
+  ++migration_stats_.completed;
+  net_.send(ms.dst, ms.src,
+            wire::WireMessage{MessageKind::kMigration,
+                              wire::MigrateAck{ms.migration_id, ms.proc,
+                                               ms.dst}});
+  if (on_migrated_) {
+    on_migrated_(ms.proc, ms.src, ms.dst);
+  }
+  // Replay everything that raced ahead of the state, in arrival order.
+  auto buf = transit_buffer_.find(ms.proc);
+  if (buf != transit_buffer_.end()) {
+    std::vector<wire::WireMessage> held = std::move(buf->second);
+    transit_buffer_.erase(buf);
+    for (const wire::WireMessage& m : held) {
+      if (const auto* transfer = std::get_if<wire::RefTransfer>(&m.body)) {
+        on_ref_transfer(*transfer);
+      } else if (const auto* control =
+                     std::get_if<wire::GgdControl>(&m.body)) {
+        on_ggd_message(control->msg);
+      }
+    }
+  }
+  // A flush the mover owed before departure resumes at the new site.
+  if (procs_[idx].forward_pending()) {
+    schedule_flush(ms.proc);
+  }
+}
+
+void GgdEngine::on_migrate_ack(SiteId at, const wire::MigrateAck& ack) {
+  pending_handoffs_.erase(ack.migration_id);
+  // Arm the vacated site's stub: from here it serves TTL more redirects.
+  // (`at` is the site the ack was addressed to — the hand-off source.)
+  auto it = stubs_.find({at, ack.proc});
+  if (it != stubs_.end() && it->second.next == ack.dst) {
+    it->second.armed = true;
   }
 }
 
@@ -194,6 +338,11 @@ void GgdEngine::schedule_flush(ProcessId p) {
   *slot = std::min<SimTime>(*slot * 2, 64);
   net_.simulator().schedule_in(delay, [this, p]() {
     flush_scheduled_.erase(p);
+    if (migrating(p)) {
+      // The process froze after this flush was scheduled: the pending
+      // flag travels in the snapshot and the destination re-schedules.
+      return;
+    }
     GgdProcess& proc = process(p);
     if (proc.forward_pending()) {
       dispatch_all(proc.take_forwards());
@@ -216,9 +365,29 @@ void GgdEngine::periodic_sweep() {
     }
   }
   dispatch_all(std::move(reemit));
+  // Reclaim forwarding stubs stale traffic will never expire: a collected
+  // mover needs no redirects, and an armed stub two sweep rounds old has
+  // outlived any packet the sweeps cannot re-emit.
+  for (auto it = stubs_.begin(); it != stubs_.end();) {
+    if (process(it->first.second).removed() ||
+        (it->second.armed && ++it->second.sweeps_survived >= 2)) {
+      it = stubs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Re-emit unacknowledged hand-off snapshots: a lost MigrateState would
+  // otherwise freeze the mover (and strand its held messages) for ever.
+  // The mover is frozen, so the stored copy is still authoritative; a
+  // re-emission racing the original is discarded by migration id.
+  for (const auto& [id, ms] : pending_handoffs_) {
+    (void)id;
+    ++migration_stats_.reemitted;
+    net_.send(ms.src, ms.dst, wire::WireMessage{MessageKind::kMigration, ms});
+  }
   for (ProcessId id : proc_order_) {
     GgdProcess& proc = procs_[index_of(id)];
-    if (proc.removed() || proc.is_root()) {
+    if (proc.removed() || proc.is_root() || migrating(id)) {
       continue;
     }
     proc.reset_inquiry_gates();

@@ -96,8 +96,57 @@ class GgdEngine : public wire::Mailbox {
   /// local garbage collection: every live non-root process re-evaluates
   /// its garbage decision with inquiry rate limits reset, so stale
   /// verdicts left behind by quiesced cascades are re-verified. Message
-  /// cost stays proportional to unresolved structures.
+  /// cost stays proportional to unresolved structures. Unacknowledged
+  /// migration snapshots and undelivered destructions are re-emitted
+  /// (loss costs latency, not comprehensiveness).
   void periodic_sweep();
+
+  // -- Migration (cross-site hand-off) ------------------------------------
+
+  /// Starts a cross-site hand-off of `p` to `dst`: exports the process's
+  /// fact state into a MigrateState wire message, installs a forwarding
+  /// stub at the old site, and freezes the process until the snapshot is
+  /// delivered (messages reaching the destination first are held; the
+  /// site-of-record flips at delivery — the protocol-level atomicity).
+  /// Returns false (and does nothing) when `p` is already collected,
+  /// already in transit, or `dst` is its current site.
+  bool migrate(ProcessId p, SiteId dst);
+
+  /// True while `p`'s hand-off snapshot is in flight (the process is
+  /// frozen: mutator entry points must not touch its state).
+  [[nodiscard]] bool migrating(ProcessId p) const {
+    return in_transit_.contains(p);
+  }
+
+  /// Hand-off snapshots sent but not yet acknowledged (the sweep re-emits
+  /// these; non-zero means the next sweep has recovery work).
+  [[nodiscard]] std::size_t pending_handoff_count() const {
+    return pending_handoffs_.size();
+  }
+
+  struct MigrationStats {
+    std::uint64_t started = 0;    // hand-offs initiated
+    std::uint64_t completed = 0;  // snapshots installed at the destination
+    std::uint64_t forwarded = 0;  // stale-addressed messages redirected
+    std::uint64_t bounced = 0;    // stale-addressed messages past the TTL
+    std::uint64_t reemitted = 0;  // snapshots re-sent by the sweep
+  };
+  [[nodiscard]] const MigrationStats& migration_stats() const {
+    return migration_stats_;
+  }
+
+  /// Redirects a forwarding stub serves after its migration is
+  /// acknowledged, before it expires (stale packets then bounce and rely
+  /// on sweep re-emission). Tests shrink this to exercise the bounce path.
+  void set_redirect_ttl(std::uint32_t ttl) { redirect_ttl_ = ttl; }
+
+  /// Hook invoked when a hand-off completes (the snapshot was installed):
+  /// arguments are (process, old site, new site). Oracles key their
+  /// time-indexed site-of-record tracking on this.
+  void set_on_migrated(
+      std::function<void(ProcessId, SiteId, SiteId)> hook) {
+    on_migrated_ = std::move(hook);
+  }
 
   // -- Observability ------------------------------------------------------
 
@@ -157,6 +206,18 @@ class GgdEngine : public wire::Mailbox {
                          ProcessId subject);
   void on_ref_transfer(const wire::RefTransfer& transfer);
   void on_ggd_message(const GgdMessage& msg);
+  /// Migration routing: true when the message was held (awaiting the
+  /// mover's snapshot at the destination) or redirected/bounced because
+  /// `at` is no longer (or not yet) `target`'s site-of-record; the caller
+  /// must then NOT process it here.
+  bool reroute_if_stale(SiteId at, ProcessId target,
+                        const wire::WireMessage& msg);
+  /// Redirect via the forwarding stub installed at `at` — one real wire
+  /// send to the stub's next hop, consuming TTL once armed. Without a
+  /// live stub the packet bounces (dropped; sweeps re-emit what matters).
+  void redirect(SiteId at, ProcessId target, const wire::WireMessage& msg);
+  void on_migrate_state(const wire::MigrateState& ms);
+  void on_migrate_ack(SiteId at, const wire::MigrateAck& ack);
 
   /// Dense index of a registered process; checks registration.
   [[nodiscard]] std::uint32_t index_of(ProcessId id) const {
@@ -198,6 +259,47 @@ class GgdEngine : public wire::Mailbox {
   /// mutator already dropped.
   std::uint64_t transfer_counter_ = 0;
   DenseSet<std::uint64_t> applied_transfers_;
+
+  // -- Migration state ----------------------------------------------------
+  /// A hand-off in flight: the mover is frozen, its site-of-record still
+  /// reads as the source until the snapshot is delivered.
+  struct TransitRecord {
+    std::uint64_t migration_id = 0;
+    SiteId src;
+    SiteId dst;
+  };
+  /// Forwarding stub left at a vacated site. Unarmed stubs (hand-off not
+  /// yet acknowledged) forward unconditionally — the snapshot may still
+  /// be in flight; the ack arms the TTL countdown, after which the stub
+  /// serves `ttl` more redirects and dies. The periodic sweep reclaims
+  /// what stale traffic never expires: stubs of collected processes at
+  /// once, armed stubs after two full sweep rounds (any packet still
+  /// stale-addressed by then bounces, which the sweep's re-emission
+  /// machinery already recovers) — without this, stubs_ grows with every
+  /// migration ever performed.
+  struct ForwardStub {
+    SiteId next;
+    std::uint32_t ttl = 0;
+    bool armed = false;
+    std::uint8_t sweeps_survived = 0;
+  };
+  FlatMap<ProcessId, TransitRecord> in_transit_;
+  FlatMap<std::pair<SiteId, ProcessId>, ForwardStub> stubs_;
+  /// Messages that reached the hand-off destination before the snapshot:
+  /// held and replayed, in arrival order, the instant the state lands.
+  FlatMap<ProcessId, std::vector<wire::WireMessage>> transit_buffer_;
+  /// Unacknowledged MigrateState messages, re-emitted by the sweep (the
+  /// mover is frozen, so the stored copy stays authoritative). Sorted by
+  /// migration id: re-emission order is wire-observable.
+  FlatMap<std::uint64_t, wire::MigrateState> pending_handoffs_;
+  /// Snapshots are installed exactly once per migration id: duplicated or
+  /// re-emitted copies only re-acknowledge.
+  DenseSet<std::uint64_t> applied_migrations_;
+  std::uint64_t migration_counter_ = 0;
+  std::uint32_t redirect_ttl_ = 16;
+  MigrationStats migration_stats_;
+  std::function<void(ProcessId, SiteId, SiteId)> on_migrated_;
+
   std::function<void(ProcessId)> on_removed_;
   std::function<void(ProcessId, ProcessId)> on_ref_delivered_;
 };

@@ -677,6 +677,66 @@ GgdMessage GgdProcess::make_reply(ProcessId to) const {
   return msg;
 }
 
+GgdProcessSnapshot GgdProcess::export_state() const {
+  CGC_CHECK_MSG(!removed_, "cannot migrate a collected process");
+  GgdProcessSnapshot snap;
+  snap.id = id_;
+  snap.is_root = is_root_;
+  for (const auto& [q, row] : log_.rows()) {
+    snap.log_rows.emplace(q, row);
+  }
+  snap.acquaintances = acquaintances_;
+  snap.history = history_;
+  snap.known_rows = known_rows_;
+  snap.known_behalf = known_behalf_;
+  snap.dead = dead_;
+  snap.resurrected = resurrected_;
+  snap.resurrect_fact_index = resurrect_fact_index_;
+  snap.refuted_fact_ceiling = refuted_fact_ceiling_;
+  snap.in_edge_confirmed = in_edge_confirmed_;
+  snap.last_v = last_v_;
+  snap.forward_pending = forward_pending_;
+  snap.inquired = inquired_;
+  snap.inflight_inquiries = inflight_inquiries_;
+  snap.blocked_inquired_version = blocked_inquired_version_;
+  snap.inquired_version = inquired_version_;
+  snap.confirm_time = confirm_time_;
+  snap.pending_verify = pending_verify_;
+  snap.pending_verify_since = pending_verify_since_;
+  return snap;
+}
+
+void GgdProcess::import_state(const GgdProcessSnapshot& snap) {
+  CGC_CHECK(snap.id == id_);
+  CGC_CHECK(!removed_);
+  log_ = DvLog(id_);
+  for (const auto& [q, row] : snap.log_rows) {
+    log_.row(q) = row;
+  }
+  acquaintances_ = snap.acquaintances;
+  history_ = snap.history;
+  known_rows_ = snap.known_rows;
+  known_behalf_ = snap.known_behalf;
+  dead_ = snap.dead;
+  resurrected_ = snap.resurrected;
+  resurrect_fact_index_ = snap.resurrect_fact_index;
+  refuted_fact_ceiling_ = snap.refuted_fact_ceiling;
+  in_edge_confirmed_ = snap.in_edge_confirmed;
+  last_v_ = snap.last_v;
+  forward_pending_ = snap.forward_pending;
+  // Decision-gating state resumes unchanged: the forwarding stub chases
+  // in-flight replies here, so outstanding inquiries stay answerable, and
+  // verification epochs are stamped in global sim time. A gate stranded
+  // by a bounced reply is cleared by the next sweep's reset, as always.
+  inquired_ = snap.inquired;
+  inflight_inquiries_ = snap.inflight_inquiries;
+  blocked_inquired_version_ = snap.blocked_inquired_version;
+  inquired_version_ = snap.inquired_version;
+  confirm_time_ = snap.confirm_time;
+  pending_verify_ = snap.pending_verify;
+  pending_verify_since_ = snap.pending_verify_since;
+}
+
 std::vector<GgdMessage> GgdProcess::remove_self() {
   CGC_CHECK(!removed_);
   CGC_CHECK_MSG(!is_root_, "an actual root can never be removed by GGD");

@@ -98,6 +98,47 @@ struct GgdMessage {
   [[nodiscard]] bool operator==(const GgdMessage&) const = default;
 };
 
+/// The serializable core of a GgdProcess: everything a cross-site
+/// hand-off must carry for the mover to resume exactly where it left off
+/// — fact state (log rows, replicas, death knowledge, refutation
+/// ceilings, delivery confirmations) AND the decision-gating state
+/// (inquiry rate limits, verification epochs, confirmation times).
+/// Gating state travels too, deliberately: the forwarding stub chases
+/// in-flight replies to the mover's new site, so outstanding inquiries
+/// stay answerable, and dropping the gates instead was measured to
+/// re-trigger a full re-verification burst per hand-off — under
+/// migration churn those bursts compound into row-map bloat and a
+/// quadratic message storm. A reply that bounces past the stub's TTL
+/// leaves its gate stuck only until the next periodic sweep, which
+/// clears every gate anyway (that is the sweep's existing recovery job).
+struct GgdProcessSnapshot {
+  ProcessId id;
+  bool is_root = false;
+  /// Every DvLog row (self row included), increasing ProcessId order.
+  FlatMap<ProcessId, DependencyVector> log_rows;
+  FlatSet<ProcessId> acquaintances;
+  FlatMap<ProcessId, DependencyVector> history;
+  FlatMap<ProcessId, DependencyVector> known_rows;
+  FlatMap<ProcessId, DependencyVector> known_behalf;
+  FlatSet<ProcessId> dead;
+  FlatSet<ProcessId> resurrected;
+  FlatMap<ProcessId, std::uint64_t> resurrect_fact_index;
+  FlatMap<ProcessId, std::uint64_t> refuted_fact_ceiling;
+  FlatMap<ProcessId, std::uint64_t> in_edge_confirmed;
+  DependencyVector last_v;
+  bool forward_pending = false;
+  // Decision-gating state.
+  FlatSet<ProcessId> inquired;
+  FlatSet<ProcessId> inflight_inquiries;
+  FlatMap<ProcessId, std::uint64_t> blocked_inquired_version;
+  FlatMap<ProcessId, std::uint64_t> inquired_version;
+  FlatMap<ProcessId, std::uint64_t> confirm_time;
+  bool pending_verify = false;
+  std::uint64_t pending_verify_since = 0;
+
+  [[nodiscard]] bool operator==(const GgdProcessSnapshot&) const = default;
+};
+
 class GgdProcess {
  public:
   GgdProcess(ProcessId id, bool is_root)
@@ -240,6 +281,18 @@ class GgdProcess {
   [[nodiscard]] const FlatMap<ProcessId, DependencyVector>& history() const {
     return history_;
   }
+
+  /// Serializes the fact state for a cross-site hand-off. The process
+  /// must be live (a removed process has no state worth moving).
+  [[nodiscard]] GgdProcessSnapshot export_state() const;
+
+  /// Adopts a delivered hand-off snapshot wholesale: fact state AND the
+  /// decision-gating state are replaced by the wire's copy (the packet is
+  /// authoritative — this is what makes the transfer atomic at the
+  /// protocol level). Gating resumes unchanged on purpose; see the
+  /// GgdProcessSnapshot comment for why resetting it instead compounds
+  /// into re-verification storms under migration churn.
+  void import_state(const GgdProcessSnapshot& snap);
 
  private:
  public:

@@ -21,24 +21,29 @@ enum class MessageKind : std::uint8_t {
   kSchelvisPacket,    // Schelvis baseline: timestamp packet
   kTracingControl,    // tracing baseline: mark/sweep/termination traffic
   kWrcControl,        // weighted-reference-counting baseline traffic
+  kMigration,         // cross-site process hand-off (state + ack + redirects)
   kCount,
 };
 
 [[nodiscard]] constexpr std::string_view to_string(MessageKind k) {
   constexpr std::array<std::string_view,
                        static_cast<std::size_t>(MessageKind::kCount)>
-      names{"mutator",         "reference_pass", "ggd_vector",
-            "ggd_destruction", "ggd_inquiry",    "eager_control",
-            "schelvis_packet", "tracing_control", "wrc_control"};
+      names{"mutator",         "reference_pass",  "ggd_vector",
+            "ggd_destruction", "ggd_inquiry",     "eager_control",
+            "schelvis_packet", "tracing_control", "wrc_control",
+            "migration"};
   return names[static_cast<std::size_t>(k)];
 }
 
 /// True for kinds that belong to garbage detection rather than the
-/// application (used for "GGD message complexity" tables).
+/// application (used for "GGD message complexity" tables). Migration
+/// traffic is system traffic (load balancing), not detection traffic: it
+/// must not inflate the paper's control-message complexity numbers.
 [[nodiscard]] constexpr bool is_control(MessageKind k) {
   switch (k) {
     case MessageKind::kMutator:
     case MessageKind::kReferencePass:
+    case MessageKind::kMigration:
       return false;
     default:
       return true;

@@ -59,6 +59,29 @@ void ReachabilityOracle::remove_edge(ProcessId holder, ProcessId target,
   history_.push_back({at, Event::Kind::kUnedge, holder, target});
 }
 
+void ReachabilityOracle::record_site(ProcessId id, SiteId site, SimTime at) {
+  sites_[id] = site;
+  history_.push_back({at, Event::Kind::kSite, id, {}, site});
+}
+
+SiteId ReachabilityOracle::site_of(ProcessId id) const {
+  auto it = sites_.find(id);
+  return it == sites_.end() ? SiteId{} : it->second;
+}
+
+SiteId ReachabilityOracle::site_at(ProcessId id, SimTime t) const {
+  SiteId site;
+  for (const Event& ev : history_) {
+    if (ev.at > t) {
+      break;  // the log is appended in nondecreasing sim-time order
+    }
+    if (ev.kind == Event::Kind::kSite && ev.a == id) {
+      site = ev.site;
+    }
+  }
+  return site;
+}
+
 bool ReachabilityOracle::apply(const MutatorOp& op, SimTime at) {
   switch (op.kind) {
     case MutatorOp::Kind::kAddRoot:
@@ -98,6 +121,17 @@ bool ReachabilityOracle::apply(const MutatorOp& op, SimTime at) {
         return false;
       }
       remove_edge(op.a, op.b, at);
+      return true;
+    case MutatorOp::Kind::kMigrate:
+      // Trace-level legality mirrors the generator: the mover exists and
+      // is live (reachability is site-agnostic, so migration never
+      // changes the graph — only the site history). A tracked no-op
+      // hand-off (already at the destination) is rejected so the
+      // normal form has one canonical site sequence.
+      if (!live(op.a) || !op.site.valid() || site_of(op.a) == op.site) {
+        return false;
+      }
+      record_site(op.a, op.site, at);
       return true;
   }
   return false;
@@ -205,6 +239,8 @@ void ReachabilityOracle::snapshot_at(
       case Event::Kind::kUnedge:
         edges[ev.a].erase(ev.b);
         break;
+      case Event::Kind::kSite:
+        break;  // site history never affects reachability
     }
   }
 }

@@ -49,6 +49,10 @@ class ReachabilityOracle {
   void add_node(ProcessId id, SimTime at = 0);
   void add_edge(ProcessId holder, ProcessId target, SimTime at = 0);
   void remove_edge(ProcessId holder, ProcessId target, SimTime at = 0);
+  /// Records `id`'s site-of-record as of `at` (initial placement or a
+  /// completed cross-site hand-off). Site history is time-indexed like
+  /// every other event, so ground truth stays exact across hand-offs.
+  void record_site(ProcessId id, SiteId site, SimTime at = 0);
 
   // -- Trace-level application --------------------------------------------
 
@@ -84,10 +88,15 @@ class ReachabilityOracle {
   /// exactly the weight-return cascade of the WRC baseline.
   [[nodiscard]] std::set<ProcessId> counting_collectable() const;
 
+  /// Current site-of-record (invalid when never recorded).
+  [[nodiscard]] SiteId site_of(ProcessId id) const;
+
   // -- Queries at an earlier sim time -------------------------------------
 
   [[nodiscard]] std::set<ProcessId> reachable_at(SimTime t) const;
   [[nodiscard]] std::set<ProcessId> garbage_at(SimTime t) const;
+  /// Site-of-record as of sim time `t` (invalid when not yet recorded).
+  [[nodiscard]] SiteId site_at(ProcessId id, SimTime t) const;
 
   // -- Verdicts ------------------------------------------------------------
 
@@ -102,11 +111,12 @@ class ReachabilityOracle {
 
  private:
   struct Event {
-    enum class Kind : std::uint8_t { kRoot, kNode, kEdge, kUnedge };
+    enum class Kind : std::uint8_t { kRoot, kNode, kEdge, kUnedge, kSite };
     SimTime at = 0;
     Kind kind;
     ProcessId a;
     ProcessId b;
+    SiteId site{};  // kSite only
   };
 
   /// Rebuilds the graph as of sim time `t` from the event log.
@@ -116,6 +126,7 @@ class ReachabilityOracle {
   std::vector<Event> history_;
   FlatMap<ProcessId, FlatSet<ProcessId>> edges_;
   FlatSet<ProcessId> roots_;
+  FlatMap<ProcessId, SiteId> sites_;
 };
 
 }  // namespace cgc

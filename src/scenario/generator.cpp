@@ -12,7 +12,8 @@ std::string ScenarioSpec::describe() const {
   std::ostringstream os;
   os << std::string(to_string(cls)) << " seed=" << seed << " ops=" << num_ops
      << " sites=" << num_sites << " mix=" << w_add_root << '/' << w_create
-     << '/' << w_link_own << '/' << w_link_third << '/' << w_drop
+     << '/' << w_link_own << '/' << w_link_third << '/' << w_drop << '/'
+     << w_migrate
      << " cycle_bias=" << cycle_bias << " teardown=" << teardown_fraction
      << " drop=" << drop_rate << " dup=" << duplicate_rate << " lat=["
      << min_latency << ',' << max_latency << ']'
@@ -25,8 +26,35 @@ std::string ScenarioSpec::describe() const {
 ScenarioSpec spec_from_seed(std::uint64_t seed) {
   ScenarioSpec spec;
   spec.seed = seed;
-  spec.cls = static_cast<ScenarioClass>(
-      seed % static_cast<std::uint64_t>(ScenarioClass::kCount));
+  // Seeds ≡ 6 (mod 7) derive the migration-churn class; every other
+  // residue keeps the historical mod-6 mapping and the exact historical
+  // Rng draw order, so each pre-migration seed reproduces its spec
+  // byte-identically (the pinned regression seeds depend on this).
+  if (seed % 7 == 6) {
+    spec.cls = ScenarioClass::kMigrationChurn;
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+    spec.num_ops = 60 + rng.below(120);
+    spec.num_sites = rng.chance(0.5) ? 0 : 4 + rng.below(12);
+    spec.teardown_fraction = 0.3 + rng.unit() * 0.7;
+    spec.min_latency = 1;
+    spec.max_latency = 1 + rng.below(6);
+    spec.flush = rng.chance(0.25) ? wire::FlushPolicy::kImmediate
+                                  : wire::FlushPolicy::kPerTick;
+    spec.cycle_bias = rng.unit() * 0.5;
+    spec.w_migrate = 6 + static_cast<std::uint32_t>(rng.below(10));
+    // Hand-off races need traffic in flight: half the seeds run unpaced,
+    // and a third add mild loss or duplication on top.
+    spec.paced = rng.chance(0.5);
+    if (rng.chance(0.34)) {
+      if (rng.chance(0.5)) {
+        spec.drop_rate = 0.03 + rng.unit() * 0.12;
+      } else {
+        spec.duplicate_rate = 0.05 + rng.unit() * 0.3;
+      }
+    }
+    return spec;
+  }
+  spec.cls = static_cast<ScenarioClass>(seed % kLegacyClassCount);
   Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
   spec.num_ops = 60 + rng.below(120);
   // Alternate the paper's one-site-per-process granularity with clustered
@@ -67,6 +95,7 @@ ScenarioSpec spec_from_seed(std::uint64_t seed) {
       spec.cycle_bias = rng.unit() * 0.4;
       spec.paced = false;
       break;
+    case ScenarioClass::kMigrationChurn:  // handled above (seed % 7 == 6)
     case ScenarioClass::kCount:
       break;
   }
@@ -83,6 +112,10 @@ struct GenState {
   ReachabilityOracle oracle;
   std::vector<ProcessId> population;
   std::map<std::pair<ProcessId, ProcessId>, std::uint32_t> fwd_depth;
+  /// Current site-of-record per process, mirroring Scenario::site_for's
+  /// placement convention plus every migration emitted so far — used to
+  /// avoid generating no-op hand-offs.
+  std::map<ProcessId, std::uint64_t> cur_site;
   std::uint64_t next_id = 0;
 
   ProcessId fresh() { return ProcessId{++next_id}; }
@@ -147,6 +180,12 @@ std::vector<MutatorOp> generate_trace(const ScenarioSpec& spec) {
   std::vector<MutatorOp> ops;
   ops.reserve(spec.num_ops + 32);
 
+  // Scenario::site_for's placement convention, mirrored so migrations can
+  // avoid the no-op hand-off (dst == current site).
+  const auto home_site = [&spec](ProcessId p) {
+    return spec.num_sites == 0 ? p.value() : p.value() % spec.num_sites;
+  };
+
   auto emit = [&](MutatorOp op) {
     CGC_CHECK_MSG(st.oracle.apply(op), "generator produced an illegal op");
     ops.push_back(op);
@@ -157,11 +196,12 @@ std::vector<MutatorOp> generate_trace(const ScenarioSpec& spec) {
     const ProcessId root = st.fresh();
     emit({MutatorOp::Kind::kAddRoot, root, {}, {}});
     st.population.push_back(root);
+    st.cur_site[root] = home_site(root);
   }
 
   const std::uint64_t total_weight = spec.w_add_root + spec.w_create +
                                      spec.w_link_own + spec.w_link_third +
-                                     spec.w_drop;
+                                     spec.w_drop + spec.w_migrate;
   std::size_t attempts_left = spec.num_ops * 6;
   while (ops.size() < spec.num_ops && attempts_left-- > 0) {
     const std::set<ProcessId> live = st.oracle.reachable();
@@ -173,6 +213,7 @@ std::vector<MutatorOp> generate_trace(const ScenarioSpec& spec) {
       const ProcessId root = st.fresh();
       emit({MutatorOp::Kind::kAddRoot, root, {}, {}});
       st.population.push_back(root);
+      st.cur_site[root] = home_site(root);
       continue;
     }
     dice -= spec.w_add_root;
@@ -184,6 +225,7 @@ std::vector<MutatorOp> generate_trace(const ScenarioSpec& spec) {
       const ProcessId newborn = st.fresh();
       emit({MutatorOp::Kind::kCreate, newborn, creator, {}});
       st.population.push_back(newborn);
+      st.cur_site[newborn] = home_site(newborn);
       continue;
     }
     dice -= spec.w_create;
@@ -229,12 +271,31 @@ std::vector<MutatorOp> generate_trace(const ScenarioSpec& spec) {
       continue;
     }
     dice -= spec.w_link_third;
-    {
+    if (dice < spec.w_drop) {
       const ProcessId j = pick_live(st, live, rng, /*want_refs=*/true);
       if (!j.valid()) {
         continue;
       }
       emit({MutatorOp::Kind::kDrop, j, pick(st.oracle.refs_of(j), rng), {}});
+      continue;
+    }
+    {
+      // Cross-site hand-off: a live process moves to another site. The
+      // destination is drawn from the same site universe the scenario
+      // places processes in (a random peer's site under one-site-per-
+      // process granularity, a random cluster otherwise).
+      const ProcessId p = pick_live(st, live, rng, /*want_refs=*/false);
+      if (!p.valid()) {
+        continue;
+      }
+      const std::uint64_t dst = spec.num_sites == 0
+                                    ? home_site(pick(st.population, rng))
+                                    : rng.below(spec.num_sites);
+      if (dst == st.cur_site[p]) {
+        continue;  // no-op hand-off: nothing to exercise
+      }
+      emit({MutatorOp::Kind::kMigrate, p, {}, {}, SiteId{dst}});
+      st.cur_site[p] = dst;
     }
   }
 

@@ -78,6 +78,10 @@ std::string op_code(const MutatorOp& op) {
       return "{MutatorOp::Kind::kDrop, P(" + op.a.str() + "), P(" +
              op.b.str() + "), {}}  // " + op.a.str() + " drops " +
              op.b.str();
+    case MutatorOp::Kind::kMigrate:
+      return "{MutatorOp::Kind::kMigrate, P(" + op.a.str() +
+             "), {}, {}, SiteId{" + op.site.str() + "}}  // " + op.a.str() +
+             " hands off to site " + op.site.str();
   }
   return "{}";
 }

@@ -131,6 +131,17 @@ bool has_regrant_after_drop(const std::vector<MutatorOp>& ops) {
       case MutatorOp::Kind::kDrop:
         dropped.insert({op.a, op.b});
         break;
+      case MutatorOp::Kind::kMigrate:
+        break;  // site hand-offs neither create nor destroy edges
+    }
+  }
+  return false;
+}
+
+bool has_migration(const std::vector<MutatorOp>& ops) {
+  for (const MutatorOp& op : ops) {
+    if (op.kind == MutatorOp::Kind::kMigrate) {
+      return true;
     }
   }
   return false;
@@ -180,8 +191,10 @@ ConformanceReport run_conformance(const ScenarioSpec& spec,
   report.true_garbage = garbage.size();
 
   const bool fault_free = spec.drop_rate == 0.0 && spec.duplicate_rate == 0.0;
+  const bool migration = has_migration(ops);
 
-  // -- Our GGD, robust log-keeping: runs under every profile. ------------
+  // -- Our GGD, robust log-keeping: runs under every profile, migration
+  //    included. ---------------------------------------------------------
   report.engines.push_back(
       run_ggd(spec, ops, LogKeepingMode::kRobust));
 
@@ -191,8 +204,10 @@ ConformanceReport run_conformance(const ScenarioSpec& spec,
   //    delivery a peer can then act on a stale-but-version-identical
   //    replica (this is precisely the weakness robust mode closes, and
   //    the fuzzer finds it). Paper-exact therefore runs with FIFO
-  //    latency; robust mode above takes the full fault profile. ---------
-  if (fault_free && !has_regrant_after_drop(ops)) {
+  //    latency; robust mode above takes the full fault profile. Migration
+  //    traces are excluded too: a stub redirect adds a forwarding hop,
+  //    which is exactly the causal reordering the contract rules out. ----
+  if (fault_free && !has_regrant_after_drop(ops) && !migration) {
     ScenarioSpec fifo = spec;
     fifo.max_latency = fifo.min_latency;
     report.engines.push_back(run_ggd(fifo, ops, LogKeepingMode::kPaperExact));
@@ -235,8 +250,9 @@ ConformanceReport run_conformance(const ScenarioSpec& spec,
   //    continuing depth-first search — expected probe traffic grows as
   //    (1+dup)^hops, so the contract also excludes duplication (the
   //    harness found seeds where a 0.5 dup rate made the baseline take
-  //    minutes of simulated probe storms). Reordering is fine. ----------
-  if (fault_free) {
+  //    minutes of simulated probe storms). Reordering is fine. Migration
+  //    is declared unsupported (static id->site probe routing). ---------
+  if (fault_free && !migration) {
     Simulator sim;
     Network net(sim, spec.net_config());
     SchelvisEngine engine(net);
@@ -263,8 +279,9 @@ ConformanceReport run_conformance(const ScenarioSpec& spec,
   }
 
   // -- WRC baseline: weight returns are not idempotent, so its contract
-  //    excludes duplication; loss only costs completeness. --------------
-  if (spec.duplicate_rate == 0.0) {
+  //    excludes duplication; loss only costs completeness. Migration is
+  //    declared unsupported (weight returns travel to the home site). ---
+  if (spec.duplicate_rate == 0.0 && !migration) {
     Simulator sim;
     Network net(sim, spec.net_config());
     WrcEngine engine(net);

@@ -11,17 +11,27 @@
 //   engine        safety holds under        comprehensive when
 //   ------------  ------------------------  -------------------------------
 //   ggd robust    loss, dup, reorder,       after the network heals and
-//                 bursts                    periodic sweeps run (§1, §5)
-//   ggd paper     fault-free delivery       fault-free, paced
+//                 bursts, migration         periodic sweeps run (§1, §5)
+//   ggd paper     fault-free delivery,      fault-free, paced, no migration
+//                 no migration (redirect    (the extra forwarding hop is
+//                 hops reorder causally)    reordering in disguise)
 //   tracing       any faults (control       after a global iteration —
-//                 traffic is accounting)    faults never hurt it
+//                 traffic is accounting);   faults never hurt it
+//                 migration is a no-op
+//                 (site-agnostic in situ)
 //   schelvis      no loss (eager updates    fault-free, paced (in-flight
 //                 load-bearing), no dup     eager updates race, §2.3;
 //                 (duplicates fork probes   duplicated probes fork the
-//                 exponentially)            DFS into probe storms)
+//                 exponentially), no        DFS into probe storms)
+//                 migration (declared
+//                 unsupported: static
+//                 id->site probe routing)
 //   wrc           no duplication (weight    never for cyclic garbage —
 //                 returns are not           checked against the oracle's
-//                 idempotent)               counting-collectable set
+//                 idempotent), no           counting-collectable set
+//                 migration (declared
+//                 unsupported: weight
+//                 returns to home site)
 //
 // On fault-free scenarios the reclaimed sets of all comprehensive engines
 // must be identical to the oracle's true garbage, and WRC's must equal
@@ -77,6 +87,11 @@ struct ConformanceReport {
 /// such traces (a re-creation index can collide with the old destruction
 /// marker's — the documented weakness robust mode's counter bumps close).
 [[nodiscard]] bool has_regrant_after_drop(const std::vector<MutatorOp>& ops);
+
+/// True when some op hands a process off to another site. Engines whose
+/// contract declares migration unsupported (schelvis, wrc, ggd paper-exact)
+/// are excluded from such traces instead of silently diverging.
+[[nodiscard]] bool has_migration(const std::vector<MutatorOp>& ops);
 
 /// Runs `ops` under `spec` on every engine whose contract admits the
 /// spec's fault profile and adjudicates the verdicts above.

@@ -20,14 +20,20 @@ namespace cgc {
 /// Structural families the generator sweeps. The class picks the weight
 /// preset and fault profile; the seed picks everything else.
 enum class ScenarioClass : std::uint8_t {
-  kTreeHeavy,     // mostly creation: deep/wide acyclic structure
-  kCycleHeavy,    // dense back-edges and cycle-closing links
-  kMixed,         // balanced mix of all five op kinds
-  kFaultyLossy,   // mixed workload under packet loss (+ jitter)
-  kFaultyDupes,   // mixed workload under duplication (+ jitter)
-  kBurstUnpaced,  // mixed workload fired without quiescing (batching stress)
+  kTreeHeavy,       // mostly creation: deep/wide acyclic structure
+  kCycleHeavy,      // dense back-edges and cycle-closing links
+  kMixed,           // balanced mix of all five op kinds
+  kFaultyLossy,     // mixed workload under packet loss (+ jitter)
+  kFaultyDupes,     // mixed workload under duplication (+ jitter)
+  kBurstUnpaced,    // mixed workload fired without quiescing (batching stress)
+  kMigrationChurn,  // mixed workload with cross-site hand-offs in flight
   kCount,
 };
+
+/// The six pre-migration classes keep their historical `seed % 6` mapping
+/// (regression seeds must derive byte-identical specs for ever); the
+/// migration-churn class takes the seeds ≡ 6 (mod 7) instead.
+inline constexpr std::uint64_t kLegacyClassCount = 6;
 
 [[nodiscard]] constexpr std::string_view to_string(ScenarioClass c) {
   switch (c) {
@@ -43,6 +49,8 @@ enum class ScenarioClass : std::uint8_t {
       return "faulty_dupes";
     case ScenarioClass::kBurstUnpaced:
       return "burst_unpaced";
+    case ScenarioClass::kMigrationChurn:
+      return "migration_churn";
     case ScenarioClass::kCount:
       break;
   }
@@ -62,6 +70,9 @@ struct ScenarioSpec {
   std::uint32_t w_link_own = 20;
   std::uint32_t w_link_third = 25;
   std::uint32_t w_drop = 15;
+  /// Relative weight of cross-site hand-offs (0 everywhere except the
+  /// migration-churn class, so legacy seeds generate identical traces).
+  std::uint32_t w_migrate = 0;
   /// Probability that a link op closes a cycle (targets a descendant of
   /// the actor) instead of linking held references — 0 keeps structures
   /// tree-ish, 1 is maximally cyclic.

@@ -102,6 +102,21 @@ class Encoder {
     }
   }
 
+  /// Sorted (ProcessId -> u64) maps: delta-encoded keys, varint values
+  /// (migration snapshots carry several per-slot counter maps).
+  template <typename SortedU64Map>
+  void u64_map(const SortedU64Map& m) {
+    varint(m.size());
+    std::uint64_t prev = 0;
+    bool first = true;
+    for (const auto& [p, v] : m) {
+      varint(first ? p.value() : p.value() - prev);
+      prev = p.value();
+      first = false;
+      varint(v);
+    }
+  }
+
   [[nodiscard]] std::size_t size() const { return out_.size(); }
 
  private:
@@ -110,19 +125,28 @@ class Encoder {
 
 class Decoder {
  public:
+  /// Why decoding failed. Truncation (the buffer ended mid-value) is kept
+  /// distinguishable from malformed input (bytes that no encoder
+  /// produces): a transport that frames its reads can treat the former as
+  /// "wait for more bytes" and only the latter as a protocol violation.
+  enum class Error : std::uint8_t { kNone, kTruncated, kMalformed };
+
   Decoder(const std::uint8_t* data, std::size_t size)
       : data_(data), size_(size) {}
   explicit Decoder(const std::vector<std::uint8_t>& buf)
       : Decoder(buf.data(), buf.size()) {}
 
-  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool ok() const { return error_ == Error::kNone; }
+  /// First failure's classification; once set it never changes (all
+  /// subsequent reads return zero values without re-classifying).
+  [[nodiscard]] Error error() const { return error_; }
   /// True when the whole buffer has been consumed (and nothing failed).
-  [[nodiscard]] bool done() const { return ok_ && pos_ == size_; }
+  [[nodiscard]] bool done() const { return ok() && pos_ == size_; }
   [[nodiscard]] std::size_t consumed() const { return pos_; }
 
   std::uint8_t u8() {
     if (pos_ >= size_) {
-      return fail();
+      return fail(Error::kTruncated);
     }
     return data_[pos_++];
   }
@@ -131,7 +155,7 @@ class Decoder {
     std::uint64_t v = 0;
     for (int shift = 0; shift < 64; shift += 7) {
       if (pos_ >= size_) {
-        return fail();
+        return fail(Error::kTruncated);  // buffer ended mid-varint
       }
       const std::uint8_t b = data_[pos_++];
       v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
@@ -139,30 +163,32 @@ class Decoder {
         // Reject non-canonical encodings: an over-long form (final byte
         // contributing no bits) or a tenth byte shifting bits past 64.
         if (shift > 0 && b == 0) {
-          return fail();
+          return fail(Error::kMalformed);
         }
         if (shift == 63 && (b >> 1) != 0) {
-          return fail();
+          return fail(Error::kMalformed);  // value would exceed 64 bits
         }
         return v;
       }
     }
-    return fail();  // more than 10 bytes: not a valid 64-bit varint
+    // Ten continuation bytes: even an all-ones u64 terminates by the
+    // tenth byte, so this prefix is not a valid 64-bit varint.
+    return fail(Error::kMalformed);
   }
 
   /// Advances past `n` raw bytes (length-prefixed payloads).
   void skip(std::size_t n) {
     if (n > size_ - pos_) {
-      fail();
+      fail(Error::kTruncated);
       return;
     }
     pos_ += n;
   }
 
   bool boolean() {
-    const std::uint8_t b = u8();
-    if (b > 1) {
-      return fail() != 0;
+    const std::uint8_t b = u8();  // truncation latched by u8() itself
+    if (ok() && b > 1) {
+      fail(Error::kMalformed);
     }
     return b == 1;
   }
@@ -182,37 +208,40 @@ class Decoder {
     DependencyVector dv;
     const std::uint64_t n = varint();
     std::uint64_t prev = 0;
-    for (std::uint64_t i = 0; ok_ && i < n; ++i) {
+    for (std::uint64_t i = 0; ok() && i < n; ++i) {
       const std::uint64_t delta = varint();
       if (i > 0 && delta == 0) {
-        fail();  // ids must be strictly increasing: one canonical encoding
+        // Ids must be strictly increasing: one canonical encoding.
+        fail(Error::kMalformed);
         break;
       }
       prev = (i == 0) ? delta : prev + delta;
       const Timestamp ts = timestamp();
       if (ts == Timestamp{}) {
-        fail();  // zero entries are never stored, so never encoded
+        if (ok()) {
+          fail(Error::kMalformed);  // zero entries are never stored
+        }
         break;
       }
       dv.set(ProcessId{prev}, ts);
     }
-    return ok_ ? dv : DependencyVector{};
+    return ok() ? dv : DependencyVector{};
   }
 
   FlatSet<ProcessId> process_set() {
     FlatSet<ProcessId> s;
     const std::uint64_t n = varint();
     std::uint64_t prev = 0;
-    for (std::uint64_t i = 0; ok_ && i < n; ++i) {
+    for (std::uint64_t i = 0; ok() && i < n; ++i) {
       const std::uint64_t delta = varint();
       if (i > 0 && delta == 0) {
-        fail();
+        fail(Error::kMalformed);
         break;
       }
       prev = (i == 0) ? delta : prev + delta;
       s.insert(ProcessId{prev});  // increasing ids: O(1) append
     }
-    return ok_ ? s : FlatSet<ProcessId>{};
+    return ok() ? s : FlatSet<ProcessId>{};
   }
 
   std::vector<ProcessId> process_seq() {
@@ -221,42 +250,60 @@ class Decoder {
     // Each element costs at least one byte: cheap guard against a huge
     // count in a truncated buffer causing a huge allocation.
     if (n > size_ - pos_) {
-      fail();
+      fail(Error::kTruncated);
       return {};
     }
     v.reserve(n);
-    for (std::uint64_t i = 0; ok_ && i < n; ++i) {
+    for (std::uint64_t i = 0; ok() && i < n; ++i) {
       v.push_back(process_id());
     }
-    return ok_ ? v : std::vector<ProcessId>{};
+    return ok() ? v : std::vector<ProcessId>{};
   }
 
   FlatMap<ProcessId, DependencyVector> row_map() {
     FlatMap<ProcessId, DependencyVector> rows;
     const std::uint64_t n = varint();
     std::uint64_t prev = 0;
-    for (std::uint64_t i = 0; ok_ && i < n; ++i) {
+    for (std::uint64_t i = 0; ok() && i < n; ++i) {
       const std::uint64_t delta = varint();
       if (i > 0 && delta == 0) {
-        fail();
+        fail(Error::kMalformed);
         break;
       }
       prev = (i == 0) ? delta : prev + delta;
       rows[ProcessId{prev}] = dependency_vector();  // increasing: append
     }
-    return ok_ ? rows : FlatMap<ProcessId, DependencyVector>{};
+    return ok() ? rows : FlatMap<ProcessId, DependencyVector>{};
+  }
+
+  FlatMap<ProcessId, std::uint64_t> u64_map() {
+    FlatMap<ProcessId, std::uint64_t> m;
+    const std::uint64_t n = varint();
+    std::uint64_t prev = 0;
+    for (std::uint64_t i = 0; ok() && i < n; ++i) {
+      const std::uint64_t delta = varint();
+      if (i > 0 && delta == 0) {
+        fail(Error::kMalformed);
+        break;
+      }
+      prev = (i == 0) ? delta : prev + delta;
+      m[ProcessId{prev}] = varint();  // increasing: append
+    }
+    return ok() ? m : FlatMap<ProcessId, std::uint64_t>{};
   }
 
  private:
-  std::uint64_t fail() {
-    ok_ = false;
+  std::uint64_t fail(Error reason) {
+    if (error_ == Error::kNone) {
+      error_ = reason;  // first failure wins: later reads return zeroes
+    }
     return 0;
   }
 
   const std::uint8_t* data_;
   std::size_t size_;
   std::size_t pos_ = 0;
-  bool ok_ = true;
+  Error error_ = Error::kNone;
 };
 
 }  // namespace cgc::wire

@@ -114,6 +114,88 @@ WrcWeightReturn decode_wrc_weight_return(Decoder& dec) {
 
 void encode_body(Encoder&, const ControlPing&) {}
 
+void encode_snapshot(Encoder& enc, const GgdProcessSnapshot& s) {
+  enc.process_id(s.id);
+  enc.boolean(s.is_root);
+  enc.row_map(s.log_rows);
+  enc.process_set(s.acquaintances);
+  enc.row_map(s.history);
+  enc.row_map(s.known_rows);
+  enc.row_map(s.known_behalf);
+  enc.process_set(s.dead);
+  enc.process_set(s.resurrected);
+  enc.u64_map(s.resurrect_fact_index);
+  enc.u64_map(s.refuted_fact_ceiling);
+  enc.u64_map(s.in_edge_confirmed);
+  enc.dependency_vector(s.last_v);
+  enc.boolean(s.forward_pending);
+  enc.process_set(s.inquired);
+  enc.process_set(s.inflight_inquiries);
+  enc.u64_map(s.blocked_inquired_version);
+  enc.u64_map(s.inquired_version);
+  enc.u64_map(s.confirm_time);
+  enc.boolean(s.pending_verify);
+  enc.varint(s.pending_verify_since);
+}
+
+GgdProcessSnapshot decode_snapshot(Decoder& dec) {
+  GgdProcessSnapshot s;
+  s.id = dec.process_id();
+  s.is_root = dec.boolean();
+  s.log_rows = dec.row_map();
+  s.acquaintances = dec.process_set();
+  s.history = dec.row_map();
+  s.known_rows = dec.row_map();
+  s.known_behalf = dec.row_map();
+  s.dead = dec.process_set();
+  s.resurrected = dec.process_set();
+  s.resurrect_fact_index = dec.u64_map();
+  s.refuted_fact_ceiling = dec.u64_map();
+  s.in_edge_confirmed = dec.u64_map();
+  s.last_v = dec.dependency_vector();
+  s.forward_pending = dec.boolean();
+  s.inquired = dec.process_set();
+  s.inflight_inquiries = dec.process_set();
+  s.blocked_inquired_version = dec.u64_map();
+  s.inquired_version = dec.u64_map();
+  s.confirm_time = dec.u64_map();
+  s.pending_verify = dec.boolean();
+  s.pending_verify_since = dec.varint();
+  return s;
+}
+
+void encode_body(Encoder& enc, const MigrateState& m) {
+  enc.varint(m.migration_id);
+  enc.process_id(m.proc);
+  enc.site_id(m.src);
+  enc.site_id(m.dst);
+  encode_snapshot(enc, m.snap);
+}
+
+MigrateState decode_migrate_state(Decoder& dec) {
+  MigrateState m;
+  m.migration_id = dec.varint();
+  m.proc = dec.process_id();
+  m.src = dec.site_id();
+  m.dst = dec.site_id();
+  m.snap = decode_snapshot(dec);
+  return m;
+}
+
+void encode_body(Encoder& enc, const MigrateAck& a) {
+  enc.varint(a.migration_id);
+  enc.process_id(a.proc);
+  enc.site_id(a.dst);
+}
+
+MigrateAck decode_migrate_ack(Decoder& dec) {
+  MigrateAck a;
+  a.migration_id = dec.varint();
+  a.proc = dec.process_id();
+  a.dst = dec.site_id();
+  return a;
+}
+
 }  // namespace
 
 void encode_message(Encoder& enc, const WireMessage& msg) {
@@ -152,6 +234,12 @@ std::optional<WireMessage> decode_message(Decoder& dec) {
       break;
     case 6:
       msg.body = ControlPing{};
+      break;
+    case 7:
+      msg.body = decode_migrate_state(dec);
+      break;
+    case 8:
+      msg.body = decode_migrate_ack(dec);
       break;
     default:
       return std::nullopt;

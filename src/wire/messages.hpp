@@ -93,9 +93,38 @@ struct ControlPing {
   [[nodiscard]] bool operator==(const ControlPing&) const = default;
 };
 
+/// Cross-site hand-off, message 1 of 2: the mover's complete fact state
+/// (GgdProcessSnapshot) travelling from its old site to its new one. The
+/// delivered packet is authoritative — the destination resumes from these
+/// bytes, which is what makes the transfer atomic at the protocol level.
+/// `migration_id` makes application idempotent under duplication and
+/// sweep re-emission.
+struct MigrateState {
+  std::uint64_t migration_id = 0;
+  ProcessId proc;
+  SiteId src;
+  SiteId dst;
+  GgdProcessSnapshot snap;
+
+  [[nodiscard]] bool operator==(const MigrateState&) const = default;
+};
+
+/// Cross-site hand-off, message 2 of 2: the destination's confirmation
+/// that the snapshot was installed. Receipt releases the source's
+/// re-emission obligation and arms the forwarding stub's redirect TTL
+/// countdown (before the ack, the stub forwards unconditionally — the
+/// snapshot itself may still be in flight).
+struct MigrateAck {
+  std::uint64_t migration_id = 0;
+  ProcessId proc;
+  SiteId dst;
+
+  [[nodiscard]] bool operator==(const MigrateAck&) const = default;
+};
+
 using Body = std::variant<RefTransfer, ObjectRefTransfer, GgdControl,
                           EagerEdgeUpdate, SchelvisProbe, WrcWeightReturn,
-                          ControlPing>;
+                          ControlPing, MigrateState, MigrateAck>;
 
 struct WireMessage {
   MessageKind kind = MessageKind::kMutator;

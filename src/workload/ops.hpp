@@ -18,14 +18,21 @@ struct MutatorOp {
     kLinkOwn,        // a sends its own ref to b (edge b -> a)
     kLinkThird,      // a forwards its ref of c to b (edge b -> c)
     kDrop,           // a drops its ref of b (edge a -> b destroyed)
+    kMigrate,        // a's site-of-record moves to `site` (hand-off)
   };
   Kind kind;
   ProcessId a;
   ProcessId b;
   ProcessId c;
+  /// kMigrate only: the destination site. Defaults to invalid, so the
+  /// four-field aggregate initialisation of every other op kind is
+  /// unchanged (and compares equal across old and new traces).
+  SiteId site{};
 
   /// The process performing the operation (whose mutator code runs):
-  /// the newborn's creator for kCreate, `a` everywhere else.
+  /// the newborn's creator for kCreate, `a` everywhere else. A migration
+  /// is initiated by the system (load balancer) rather than the mutator,
+  /// but the mover is still the process whose state is in play.
   [[nodiscard]] ProcessId actor() const {
     return kind == Kind::kCreate ? b : a;
   }
@@ -35,6 +42,9 @@ struct MutatorOp {
   [[nodiscard]] ProcessId forwarder() const { return a; }
   [[nodiscard]] ProcessId recipient() const { return b; }
   [[nodiscard]] ProcessId subject() const { return c; }
+  /// kMigrate only.
+  [[nodiscard]] ProcessId mover() const { return a; }
+  [[nodiscard]] SiteId dst_site() const { return site; }
 
   [[nodiscard]] bool operator==(const MutatorOp&) const = default;
 };
@@ -68,6 +78,10 @@ class TraceBuilder {
   }
   void drop(ProcessId a, ProcessId b) {
     ops_.push_back({MutatorOp::Kind::kDrop, a, b, {}});
+  }
+  /// `p`'s site-of-record hands off to `dst` (cross-site migration).
+  void migrate(ProcessId p, SiteId dst) {
+    ops_.push_back({MutatorOp::Kind::kMigrate, p, {}, {}, dst});
   }
 
   [[nodiscard]] const std::vector<MutatorOp>& ops() const { return ops_; }

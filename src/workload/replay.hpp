@@ -32,6 +32,9 @@ inline void replay_on_engine(GgdEngine& e, const std::vector<MutatorOp>& ops,
       case MutatorOp::Kind::kDrop:
         e.drop_ref(op.a, op.b);
         break;
+      case MutatorOp::Kind::kMigrate:
+        e.migrate(op.a, op.site);
+        break;
     }
     if (quiesce_between) {
       sim.run();

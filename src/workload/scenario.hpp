@@ -38,6 +38,12 @@ class Scenario {
     engine_.set_on_ref_delivered([this](ProcessId holder, ProcessId target) {
       oracle_.add_edge(holder, target, sim_.now());
     });
+    engine_.set_on_migrated([this](ProcessId p, SiteId src, SiteId dst) {
+      (void)src;
+      // The site-of-record flips at snapshot delivery — the instant the
+      // oracle's time-indexed site tracking must record.
+      oracle_.record_site(p, dst, sim_.now());
+    });
     engine_.set_on_removed([this](ProcessId p) {
       removed_.insert(p);
       // Tripwire: garbage is stable, so a removal of a currently reachable
@@ -64,6 +70,7 @@ class Scenario {
     const ProcessId id = next_id();
     engine_.add_process(id, site_for(id), /*is_root=*/true);
     oracle_.add_root(id, sim_.now());
+    oracle_.record_site(id, site_for(id), sim_.now());
     return id;
   }
 
@@ -73,8 +80,12 @@ class Scenario {
     const ProcessId id = next_id();
     engine_.create_object(creator, id, site_for(id), is_root);
     oracle_.add_node(id, sim_.now());
+    oracle_.record_site(id, site_for(id), sim_.now());
     return id;
   }
+
+  /// Hands `p` off to site `dst` (no-op when already there or in transit).
+  bool migrate(ProcessId p, SiteId dst) { return engine_.migrate(p, dst); }
 
   /// `i` hands its own reference to `j` (edge j -> i). Requires j to be
   /// known to i — in a real mutator i can only message objects it holds
@@ -109,6 +120,7 @@ class Scenario {
         bump_counter(op.a);
         engine_.add_process(op.a, site_for(op.a), /*is_root=*/true);
         oracle_.add_root(op.a, sim_.now());
+        oracle_.record_site(op.a, site_for(op.a), sim_.now());
         return true;
       case MutatorOp::Kind::kCreate:
         if (oracle_.knows(op.a) || !delivered_live(op.b)) {
@@ -117,9 +129,11 @@ class Scenario {
         bump_counter(op.a);
         engine_.create_object(op.b, op.a, site_for(op.a), /*is_root=*/false);
         oracle_.add_node(op.a, sim_.now());
+        oracle_.record_site(op.a, site_for(op.a), sim_.now());
         return true;
       case MutatorOp::Kind::kLinkOwn:
-        if (op.a == op.b || !delivered_live(op.a) || !oracle_.knows(op.b) ||
+        if (op.a == op.b || !delivered_live(op.a) ||
+            engine_.migrating(op.a) || !oracle_.knows(op.b) ||
             engine_.process(op.b).removed()) {
           return false;
         }
@@ -128,6 +142,7 @@ class Scenario {
       case MutatorOp::Kind::kLinkThird:
         if (op.recipient() == op.subject() ||
             !delivered_live(op.forwarder()) ||
+            engine_.migrating(op.forwarder()) ||
             !holds(op.forwarder(), op.subject()) ||
             !oracle_.knows(op.recipient()) ||
             engine_.process(op.recipient()).removed()) {
@@ -136,11 +151,23 @@ class Scenario {
         send_third_party_ref(op.forwarder(), op.subject(), op.recipient());
         return true;
       case MutatorOp::Kind::kDrop:
-        if (!delivered_live(op.a) || !holds(op.a, op.b)) {
+        if (!delivered_live(op.a) || engine_.migrating(op.a) ||
+            !holds(op.a, op.b)) {
           return false;
         }
         drop_ref(op.a, op.b);
         return true;
+      case MutatorOp::Kind::kMigrate:
+        // System-initiated (load balancing), so no liveness precondition:
+        // a garbage-but-uncollected process can migrate, which is exactly
+        // the death-certificate-chasing-a-mover race. Skipped when the
+        // mover never materialised, was already collected, is mid-hand-off
+        // (burst pacing), or the destination is its current site.
+        if (!oracle_.knows(op.a) || !op.site.valid() ||
+            engine_.process(op.a).removed() || engine_.migrating(op.a)) {
+          return false;
+        }
+        return engine_.migrate(op.a, op.site);
     }
     return false;
   }
@@ -162,7 +189,8 @@ class Scenario {
     std::size_t idle_rounds = 0;
     for (std::size_t r = 0; r < rounds && idle_rounds < 2; ++r) {
       const std::size_t before = removed_.size();
-      const bool had_pending = engine_.pending_destruction_count() > 0;
+      const bool had_pending = engine_.pending_destruction_count() > 0 ||
+                               engine_.pending_handoff_count() > 0;
       engine_.periodic_sweep();
       if (!sim_.run(max_events)) {
         return false;

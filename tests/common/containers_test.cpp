@@ -88,6 +88,37 @@ TEST(FlatMap, MergeWithMatchesPerKeyCombine) {
   }
 }
 
+TEST(FlatMap, MergeWithSelfAppliesCombineToEveryValueInPlace) {
+  // Aliasing contract: m.merge_with(m, f) == apply f(v, v) per entry.
+  // The differential reference is the same combine applied to a std::map
+  // copy — and an idempotent combine (max) must leave the map unchanged,
+  // which is what DependencyVector::merge relies on.
+  Rng rng(909);
+  for (int round = 0; round < 100; ++round) {
+    FlatMap<std::uint64_t, std::uint64_t> m;
+    for (int i = 0; i < 12; ++i) {
+      if (rng.chance(0.8)) {
+        m[rng.below(16)] = 1 + rng.below(100);
+      }
+    }
+    std::map<std::uint64_t, std::uint64_t> expect(m.begin(), m.end());
+    for (auto& [k, v] : expect) {
+      v = v + v;
+    }
+    const FlatMap<std::uint64_t, std::uint64_t> before = m;
+    m.merge_with(m, [](std::uint64_t x, std::uint64_t y) { return x + y; });
+    EXPECT_TRUE(m == expect) << "self-merge must combine each value with "
+                                "itself, no duplicates, no reorder";
+
+    FlatMap<std::uint64_t, std::uint64_t> idem = before;
+    idem.merge_with(idem, [](std::uint64_t x, std::uint64_t y) {
+      return std::max(x, y);
+    });
+    EXPECT_TRUE(idem == before)
+        << "idempotent combine: self-merge is the identity";
+  }
+}
+
 TEST(FlatSet, DifferentialAgainstStdSetUnderRandomOps) {
   Rng rng(4711);
   for (int round = 0; round < 50; ++round) {

@@ -17,6 +17,7 @@
 
 #include "scenario/runner.hpp"
 #include "scenario/spec.hpp"
+#include "workload/scenario.hpp"
 
 namespace cgc {
 namespace {
@@ -107,6 +108,90 @@ TEST(ScenarioRegression, Seed1561) {
   };
   const ConformanceReport report = run_conformance(spec, ops);
   EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+// -- Migration races (hand-crafted, not fuzz-minimized): the three
+//    in-flight families a cross-site hand-off opens. -----------------------
+
+NetworkConfig migration_net(std::uint64_t seed) {
+  return NetworkConfig{.min_latency = 2,
+                       .max_latency = 4,  // spread keeps traffic in flight
+                       .drop_rate = 0.0,
+                       .duplicate_rate = 0.0,
+                       .seed = seed};
+}
+
+// A third-party grant departs towards the mover's old site while the
+// mover's hand-off snapshot is still in flight: the grant must chase the
+// mover (redirect or holding queue) and the edge must still materialise.
+TEST(MigrationRegression, MoverWithInFlightThirdPartyGrant) {
+  Scenario s(Scenario::Config{.net = migration_net(101)});
+  const ProcessId root = s.add_root();
+  const ProcessId a = s.create(root);
+  const ProcessId k = s.create(a);
+  const ProcessId j = s.create(root);
+  ASSERT_TRUE(s.run());
+
+  ASSERT_TRUE(s.migrate(j, SiteId{j.value() + 50}));
+  s.send_third_party_ref(a, k, j);  // grant races the hand-off
+  ASSERT_TRUE(s.run());
+  EXPECT_TRUE(s.holds(j, k)) << "the racing grant must not be lost";
+  EXPECT_EQ(s.oracle().site_of(j), SiteId{j.value() + 50});
+
+  for (ProcessId t : FlatSet<ProcessId>(s.refs_of(root))) {
+    s.drop_ref(root, t);
+  }
+  ASSERT_TRUE(s.run_with_sweeps(16));
+  EXPECT_TRUE(s.safety_holds());
+  EXPECT_TRUE(s.residual_garbage().empty())
+      << s.residual_garbage().size() << " residual";
+}
+
+// The mover's last in-edge is severed in the same instant its hand-off
+// departs: the destruction control message — and the cascade's death
+// certificates — must chase the mover to its new site.
+TEST(MigrationRegression, MigrateThenDestroyRace) {
+  Scenario s(Scenario::Config{.net = migration_net(102)});
+  const ProcessId root = s.add_root();
+  const ProcessId a = s.create(root);
+  const ProcessId b = s.create(a);
+  s.send_own_ref(a, b);  // cycle a <-> b: the GGD-hard shape
+  ASSERT_TRUE(s.run());
+
+  s.drop_ref(root, a);  // destruction towards a...
+  ASSERT_TRUE(s.migrate(a, SiteId{a.value() + 50}));  // ...which departs now
+  ASSERT_TRUE(s.run_with_sweeps(16));
+  EXPECT_TRUE(s.safety_holds());
+  EXPECT_TRUE(s.removed().contains(a)) << "destruction must chase the mover";
+  EXPECT_TRUE(s.removed().contains(b));
+  EXPECT_TRUE(s.residual_garbage().empty());
+}
+
+// The hand-off itself happens into a fully lossy network: the snapshot
+// and the racing destruction both vanish. After healing, sweep
+// re-emission must complete the hand-off and still collect everything.
+TEST(MigrationRegression, MigrateUnderLoss) {
+  Scenario s(Scenario::Config{.net = migration_net(103)});
+  const ProcessId root = s.add_root();
+  const ProcessId a = s.create(root);
+  const ProcessId b = s.create(a);
+  ASSERT_TRUE(s.run());
+
+  s.net().set_drop_rate(1.0);
+  ASSERT_TRUE(s.migrate(a, SiteId{a.value() + 50}));
+  s.drop_ref(root, a);
+  ASSERT_TRUE(s.run());
+  EXPECT_TRUE(s.engine().migrating(a)) << "snapshot lost: mover frozen";
+
+  s.net().set_drop_rate(0.0);
+  ASSERT_TRUE(s.run_with_sweeps(16));
+  EXPECT_FALSE(s.engine().migrating(a));
+  EXPECT_EQ(s.oracle().site_of(a), SiteId{a.value() + 50});
+  EXPECT_GE(s.engine().migration_stats().reemitted, 1u);
+  EXPECT_TRUE(s.safety_holds());
+  EXPECT_TRUE(s.removed().contains(a));
+  EXPECT_TRUE(s.removed().contains(b));
+  EXPECT_TRUE(s.residual_garbage().empty());
 }
 
 }  // namespace

@@ -58,10 +58,60 @@ GgdMessage random_ggd_message(Rng& rng) {
   return m;
 }
 
+FlatMap<ProcessId, DependencyVector> random_rows(Rng& rng,
+                                                 std::size_t max_rows = 5) {
+  FlatMap<ProcessId, DependencyVector> rows;
+  const std::size_t n = rng.below(max_rows + 1);
+  std::uint64_t pid = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    pid += 1 + rng.below(50);
+    rows[P(pid)] = random_dv(rng, 6);
+  }
+  return rows;
+}
+
+FlatMap<ProcessId, std::uint64_t> random_u64_map(Rng& rng,
+                                                 std::size_t max_n = 6) {
+  FlatMap<ProcessId, std::uint64_t> m;
+  const std::size_t n = rng.below(max_n + 1);
+  std::uint64_t pid = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    pid += 1 + rng.below(50);
+    m[P(pid)] = rng.next() >> rng.below(40);
+  }
+  return m;
+}
+
+GgdProcessSnapshot random_snapshot(Rng& rng) {
+  GgdProcessSnapshot s;
+  s.id = P(1 + rng.below(1000));
+  s.is_root = rng.chance(0.2);
+  s.log_rows = random_rows(rng);
+  s.acquaintances = random_set(rng);
+  s.history = random_rows(rng);
+  s.known_rows = random_rows(rng);
+  s.known_behalf = random_rows(rng);
+  s.dead = random_set(rng);
+  s.resurrected = random_set(rng);
+  s.resurrect_fact_index = random_u64_map(rng);
+  s.refuted_fact_ceiling = random_u64_map(rng);
+  s.in_edge_confirmed = random_u64_map(rng);
+  s.last_v = random_dv(rng);
+  s.forward_pending = rng.chance(0.5);
+  s.inquired = random_set(rng);
+  s.inflight_inquiries = random_set(rng);
+  s.blocked_inquired_version = random_u64_map(rng);
+  s.inquired_version = random_u64_map(rng);
+  s.confirm_time = random_u64_map(rng);
+  s.pending_verify = rng.chance(0.3);
+  s.pending_verify_since = rng.below(1 << 20);
+  return s;
+}
+
 /// One random body of each alternative, cycling through all shapes.
 wire::WireMessage random_message(Rng& rng, std::size_t shape) {
   wire::WireMessage msg;
-  switch (shape % 7) {
+  switch (shape % 9) {
     case 0:
       msg.kind = MessageKind::kReferencePass;
       msg.body = wire::RefTransfer{rng.next(), P(rng.below(1 << 20)),
@@ -102,9 +152,21 @@ wire::WireMessage random_message(Rng& rng, std::size_t shape) {
       msg.kind = MessageKind::kWrcControl;
       msg.body = wire::WrcWeightReturn{P(rng.below(100)), rng.next()};
       break;
-    default:
+    case 6:
       msg.kind = MessageKind::kTracingControl;
       msg.body = wire::ControlPing{};
+      break;
+    case 7:
+      msg.kind = MessageKind::kMigration;
+      msg.body = wire::MigrateState{rng.next(), P(1 + rng.below(1000)),
+                                    SiteId{rng.below(256)},
+                                    SiteId{rng.below(256)},
+                                    random_snapshot(rng)};
+      break;
+    default:
+      msg.kind = MessageKind::kMigration;
+      msg.body = wire::MigrateAck{rng.next(), P(1 + rng.below(1000)),
+                                  SiteId{rng.below(256)}};
       break;
   }
   return msg;
@@ -226,6 +288,119 @@ TEST(WireCodec, OverlongVarintsAreRejected) {
     wire::Decoder dec(bytes);
     (void)dec.varint();
     EXPECT_FALSE(dec.ok());
+  }
+}
+
+TEST(WireCodec, VarintBoundaryAdversarialByteStrings) {
+  using Error = wire::Decoder::Error;
+  struct Case {
+    std::vector<std::uint8_t> bytes;
+    bool accept;
+    std::uint64_t value;  // when accepted
+    Error error;          // when rejected
+  };
+  const std::uint8_t c = 0x80;  // continuation byte contributing 0 bits
+  const std::vector<Case> cases = {
+      // Ten-byte encodings probe shift == 63: exactly one payload bit
+      // remains, so a final byte of 1 is the largest canonical form...
+      {{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01},
+       true, ~std::uint64_t{0}, Error::kNone},
+      {{c, c, c, c, c, c, c, c, c, 0x01},
+       true, std::uint64_t{1} << 63, Error::kNone},
+      // ...a final byte of 2 shifts a bit past the 64th (overflow)...
+      {{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02},
+       false, 0, Error::kMalformed},
+      // ...and a tenth continuation byte can never terminate in time.
+      {{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x00},
+       false, 0, Error::kMalformed},
+      // Over-long zero continuations at every position are non-canonical.
+      {{c, 0x00}, false, 0, Error::kMalformed},
+      {{0xff, 0x00}, false, 0, Error::kMalformed},
+      {{c, c, c, c, c, c, c, c, c, 0x00}, false, 0, Error::kMalformed},
+      // A bare zero IS canonical (shift 0: nothing over-long about it).
+      {{0x00}, true, 0, Error::kNone},
+      // Truncations: the buffer ends while the continuation bit demands
+      // more — distinguishable from malformed bytes.
+      {{}, false, 0, Error::kTruncated},
+      {{c}, false, 0, Error::kTruncated},
+      {{0xff, 0xff, 0xff}, false, 0, Error::kTruncated},
+      {{c, c, c, c, c, c, c, c, c}, false, 0, Error::kTruncated},
+  };
+  for (const Case& tc : cases) {
+    wire::Decoder dec(tc.bytes);
+    const std::uint64_t v = dec.varint();
+    if (tc.accept) {
+      EXPECT_TRUE(dec.ok());
+      EXPECT_EQ(v, tc.value);
+      EXPECT_TRUE(dec.done());
+    } else {
+      EXPECT_FALSE(dec.ok());
+      EXPECT_EQ(dec.error(), tc.error);
+    }
+  }
+}
+
+TEST(WireCodec, VarintAcceptanceImpliesCanonicalReencoding) {
+  // Property over adversarial random byte strings: whenever the decoder
+  // accepts a varint, re-encoding the decoded value must reproduce the
+  // consumed bytes exactly — i.e. the accepted language contains ONLY
+  // canonical encodings (no second representation of any value).
+  Rng rng(0xadbeef);
+  std::size_t accepted = 0;
+  for (int i = 0; i < 20000; ++i) {
+    std::vector<std::uint8_t> junk(1 + rng.below(14));
+    for (auto& b : junk) {
+      // Bias towards continuation markers and tiny payloads so deep
+      // varint prefixes are actually reached.
+      b = rng.chance(0.6) ? static_cast<std::uint8_t>(0x80 | rng.below(4))
+                          : static_cast<std::uint8_t>(rng.below(256));
+    }
+    wire::Decoder dec(junk);
+    const std::uint64_t v = dec.varint();
+    if (!dec.ok()) {
+      EXPECT_NE(dec.error(), wire::Decoder::Error::kNone);
+      continue;
+    }
+    ++accepted;
+    std::vector<std::uint8_t> canon;
+    wire::Encoder enc(canon);
+    enc.varint(v);
+    ASSERT_EQ(canon.size(), dec.consumed());
+    EXPECT_TRUE(std::equal(canon.begin(), canon.end(), junk.begin()));
+  }
+  EXPECT_GT(accepted, 0u);
+}
+
+TEST(WireCodec, TruncationAndMalformednessStayDistinguishable) {
+  // Truncating any canonical encoding yields kTruncated at every strict
+  // prefix cut mid-varint; flipping its final byte into a redundant zero
+  // continuation yields kMalformed. The transport relies on the
+  // distinction (short read vs protocol violation).
+  Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t v = rng.next() >> rng.below(64);
+    std::vector<std::uint8_t> buf;
+    wire::Encoder enc(buf);
+    enc.varint(v);
+    for (std::size_t len = 0; len < buf.size(); ++len) {
+      wire::Decoder dec(buf.data(), len);
+      (void)dec.varint();
+      EXPECT_FALSE(dec.ok());
+      EXPECT_EQ(dec.error(), wire::Decoder::Error::kTruncated);
+    }
+    if (!buf.empty() && buf.size() < 10) {
+      // Rebuild with an over-long tail: continuation bit on the final
+      // byte, then a zero terminator. (A varint encoding is never empty;
+      // the guard and the element-wise copy keep -Wstringop-overflow
+      // from seeing a potentially-empty vector's back().)
+      std::vector<std::uint8_t> overlong(buf.begin(), buf.end() - 1);
+      overlong.push_back(static_cast<std::uint8_t>(buf[buf.size() - 1] | 0x80));
+      overlong.push_back(0x00);
+      wire::Decoder dec(overlong);
+      (void)dec.varint();
+      EXPECT_FALSE(dec.ok());
+      EXPECT_EQ(dec.error(), wire::Decoder::Error::kMalformed);
+    }
   }
 }
 
