@@ -8,6 +8,7 @@
 #include <string>
 
 #include "metrics/message_stats.hpp"
+#include "obs/metrics.hpp"
 
 // Build provenance baked in by CMake: which commit and build type
 // produced a BENCH_*.json. CI uploads these files as artifacts, so
@@ -110,6 +111,8 @@ inline void write_kind_counters(Json& json, const MessageStats& stats) {
     json.value(c.duplicated);
     json.key("bytes_sent");
     json.value(c.bytes_sent);
+    json.key("bytes_delivered");
+    json.value(c.bytes_delivered);
     json.close('}');
   }
   json.close('}');
@@ -129,7 +132,39 @@ inline void write_packet_counters(Json& json, const MessageStats& stats) {
   json.value(p.duplicated);
   json.key("bytes_sent");
   json.value(p.bytes_sent);
+  json.key("bytes_delivered");
+  json.value(p.bytes_delivered);
   json.close('}');
+}
+
+/// Unreachable→reclaimed latency percentiles (sim ticks). Every BENCH
+/// workload entry carries these fields even where the workload cannot
+/// measure them (no ground-truth join available): an honest zero-sample
+/// block keeps the schema uniform so CI can gate on field presence.
+inline void write_latency_fields(Json& json, const obs::TickHistogram& h) {
+  const obs::Summary s = h.summary();
+  json.key("latency_samples");
+  json.value(s.count);
+  json.key("latency_p50_ticks");
+  json.value(s.p50);
+  json.key("latency_p99_ticks");
+  json.value(s.p99);
+  json.key("latency_max_ticks");
+  json.value(s.max);
+}
+
+/// Per-sweep detector pause percentiles (wall microseconds). Zero-sample
+/// blocks mark engines with no sweep (acyclic baselines) — see above.
+inline void write_sweep_pause_fields(Json& json, const obs::TickHistogram& h) {
+  const obs::Summary s = h.summary();
+  json.key("sweeps");
+  json.value(s.count);
+  json.key("sweep_pause_p50");
+  json.value(s.p50);
+  json.key("sweep_pause_p99");
+  json.value(s.p99);
+  json.key("sweep_pause_max");
+  json.value(s.max);
 }
 
 }  // namespace cgc::benchjson

@@ -14,6 +14,7 @@
 #include "baselines/schelvis/schelvis.hpp"
 #include "baselines/wrc/wrc.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 #include "workload/builders.hpp"
 #include "workload/replay.hpp"
 #include "workload/scenario.hpp"
@@ -34,8 +35,15 @@ using benchjson::Json;
 using benchjson::write_kind_counters;
 using benchjson::write_packet_counters;
 
+// Shared zero-sample histogram for workloads that cannot measure latency
+// or pause (raw-engine replays with no ground-truth oracle, baselines
+// with no sweep): the fields still appear, with honest zero counts.
+const obs::TickHistogram kNoSamples;
+
 void write_stats_entry(Json& json, const std::string& name,
-                       wire::FlushPolicy flush, const MessageStats& stats) {
+                       wire::FlushPolicy flush, const MessageStats& stats,
+                       const obs::TickHistogram& latency = kNoSamples,
+                       const obs::TickHistogram& sweep_pause = kNoSamples) {
   json.key(name);
   json.open('{');
   json.key("flush");
@@ -44,7 +52,19 @@ void write_stats_entry(Json& json, const std::string& name,
                  : std::string("immediate"));
   write_kind_counters(json, stats);
   write_packet_counters(json, stats);
+  benchjson::write_latency_fields(json, latency);
+  benchjson::write_sweep_pause_fields(json, sweep_pause);
   json.close('}');
+}
+
+/// Joins a finished Scenario's removal times against the ground-truth
+/// oracle's unreachable-onset times (one sample per collected object).
+obs::TickHistogram latency_of(const Scenario& s) {
+  obs::TickHistogram h;
+  for (SimTime l : s.reclaim_latencies()) {
+    h.record(l);
+  }
+  return h;
 }
 
 void emit_transport_bench(const std::string& path) {
@@ -77,7 +97,9 @@ void emit_transport_bench(const std::string& path) {
   // traffic dominates), batched vs unbatched.
   for (const auto flush :
        {wire::FlushPolicy::kPerTick, wire::FlushPolicy::kImmediate}) {
+    obs::Registry reg;  // outlives the engine, which caches pointers
     Scenario s(Scenario::Config{.net = unit_net(flush)});
+    s.engine().attach_obs(&reg, nullptr);
     const ProcessId root = s.add_root();
     const auto elems = build_ring_with_subcycles(s, root, 16);
     s.run();
@@ -87,7 +109,8 @@ void emit_transport_bench(const std::string& path) {
                       flush == wire::FlushPolicy::kPerTick
                           ? "ring_collect_batched"
                           : "ring_collect_unbatched",
-                      flush, s.net().stats());
+                      flush, s.net().stats(), latency_of(s),
+                      reg.histogram("ggd.sweep_pause_us"));
   }
 
   json.close('}');
@@ -109,10 +132,13 @@ void emit_logkeeping_bench(const std::string& path) {
     Rng rng(f);
     const TraceBuilder t = traces::forward_heavy(32, f, rng);
 
+    obs::Registry reg;
     Scenario ours(Scenario::Config{.net = unit_net(wire::FlushPolicy::kPerTick)});
+    ours.engine().attach_obs(&reg, nullptr);
     replay_on_scenario(ours, t.ops());
     write_stats_entry(json, "lazy_f" + std::to_string(f),
-                      wire::FlushPolicy::kPerTick, ours.net().stats());
+                      wire::FlushPolicy::kPerTick, ours.net().stats(),
+                      latency_of(ours), reg.histogram("ggd.sweep_pause_us"));
 
     Simulator sim1;
     Network net1(sim1, unit_net(wire::FlushPolicy::kPerTick));

@@ -38,6 +38,7 @@
 #include "common/rng.hpp"
 #include "ggd/engine.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace cgc {
@@ -67,6 +68,8 @@ struct ScaleResult {
   std::optional<std::uint64_t> peak_rss_kb;
   GgdEngine::MigrationStats migration;
   std::uint64_t migration_bytes = 0;
+  obs::TickHistogram latency;      // unreachable→reclaimed, sim ticks
+  obs::TickHistogram sweep_pause;  // per-sweep wall µs
 };
 
 /// Peak resident set in kB: VmHWM from /proc/self/status (Linux), falling
@@ -108,7 +111,9 @@ ScaleResult run_scale(const ScaleConfig& cfg) {
                                  .drop_rate = 0,
                                  .duplicate_rate = 0,
                                  .seed = 12345});
+  obs::Registry reg;  // outlives the engine, which caches pointers
   GgdEngine eng(net);
+  eng.attach_obs(&reg, nullptr);
   Rng rng(cfg.processes ^ (cfg.sites << 20));
 
   std::uint64_t id_counter = 0;
@@ -117,7 +122,26 @@ ScaleResult run_scale(const ScaleConfig& cfg) {
   std::vector<ProcessId> population;
   population.reserve(cfg.processes);
   DenseSet<ProcessId> dead;
-  eng.set_on_removed([&dead](ProcessId p) { dead.insert(p); });
+
+  // Unreachable-onset tracking for the latency histogram. A full oracle
+  // per removal would dominate the numbers (see the header comment), so
+  // onset is refreshed by a BFS over the delivered-edge mirror at every
+  // 512-op batch boundary: onset times are quantized to the boundary —
+  // a consistent lower bound on the true latency, comparable across PRs.
+  // Refresh time is accumulated separately and excluded from the wall
+  // clock, so events/sec keeps measuring the engine, not the bench.
+  constexpr SimTime kNoOnset = Simulator::kNever;
+  std::vector<SimTime> since;  // indexed by ProcessId value
+  obs::TickHistogram latency;
+  std::chrono::steady_clock::duration oracle_wall{};
+
+  eng.set_on_removed([&](ProcessId p) {
+    dead.insert(p);
+    if (p.value() < since.size() && since[p.value()] != kNoOnset) {
+      latency.record(sim.now() - since[p.value()]);
+      since[p.value()] = kNoOnset;
+    }
+  });
 
   // Delivered-edge mirror so churn only drops edges that exist: the
   // network is fault-free and paced (run() between batches), so every
@@ -132,6 +156,43 @@ ScaleResult run_scale(const ScaleConfig& cfg) {
   const auto alive = [&](ProcessId p) { return !dead.contains(p); };
   const auto pick = [&](const std::vector<ProcessId>& v) {
     return v[rng.below(v.size())];
+  };
+
+  // BFS from the roots (ids 1..cfg.roots by construction) over the edge
+  // mirror; stamps the current sim time on every live process that just
+  // became unreachable, clears the stamp on anything reachable again.
+  const auto refresh_unreachable = [&]() {
+    const auto t0 = std::chrono::steady_clock::now();
+    since.resize(id_counter + 1, kNoOnset);
+    std::vector<std::vector<std::uint64_t>> adj(id_counter + 1);
+    for (const auto& [holder, target] : edges) {
+      adj[holder.value()].push_back(target.value());
+    }
+    std::vector<char> reached(id_counter + 1, 0);
+    std::vector<std::uint64_t> stack;
+    for (std::uint64_t r = 1; r <= cfg.roots; ++r) {
+      reached[r] = 1;
+      stack.push_back(r);
+    }
+    while (!stack.empty()) {
+      const std::uint64_t v = stack.back();
+      stack.pop_back();
+      for (std::uint64_t w : adj[v]) {
+        if (!reached[w]) {
+          reached[w] = 1;
+          stack.push_back(w);
+        }
+      }
+    }
+    const SimTime now = sim.now();
+    for (std::uint64_t v = 1; v <= id_counter; ++v) {
+      if (reached[v] || dead.contains(ProcessId{v})) {
+        since[v] = kNoOnset;
+      } else if (since[v] == kNoOnset) {
+        since[v] = now;  // newly unreachable; keep the earliest onset
+      }
+    }
+    oracle_wall += std::chrono::steady_clock::now() - t0;
   };
 
   const auto start = std::chrono::steady_clock::now();
@@ -220,6 +281,7 @@ ScaleResult run_scale(const ScaleConfig& cfg) {
       }
     }
     if ((op + 1) % 512 == 0) {
+      refresh_unreachable();  // stamp onsets before the engine can collect
       sim.run();
     }
     if ((op + 1) % 8192 == 0) {
@@ -227,13 +289,14 @@ ScaleResult run_scale(const ScaleConfig& cfg) {
       sim.run();
     }
   }
+  refresh_unreachable();
   sim.run();
   for (int round = 0; round < 3; ++round) {
     eng.periodic_sweep();
     sim.run();
   }
 
-  const auto end = std::chrono::steady_clock::now();
+  const auto end = std::chrono::steady_clock::now() - oracle_wall;
 
   ScaleResult res;
   res.cfg = cfg;
@@ -255,6 +318,8 @@ ScaleResult run_scale(const ScaleConfig& cfg) {
   res.peak_rss_kb = peak_rss_kb();
   res.migration = eng.migration_stats();
   res.migration_bytes = net.stats().of(MessageKind::kMigration).bytes_sent;
+  res.latency = latency;
+  res.sweep_pause = reg.histogram("ggd.sweep_pause_us");
   return res;
 }
 
@@ -294,6 +359,8 @@ void emit(const std::string& path, const std::vector<ScaleResult>& results) {
     json.value(r.packets);
     json.key("log_entries");
     json.value(r.log_entries);
+    benchjson::write_latency_fields(json, r.latency);
+    benchjson::write_sweep_pause_fields(json, r.sweep_pause);
     if (r.peak_rss_kb.has_value()) {
       // Omitted entirely when unmeasurable: a literal 0 would be read as
       // a (miraculous) measurement by downstream tooling.
@@ -353,7 +420,9 @@ int main(int argc, char** argv) {
               << static_cast<std::uint64_t>(r.wall_ms)
               << " events/s=" << static_cast<std::uint64_t>(r.events_per_sec)
               << " reclaimed=" << r.reclaimed << " bytes/reclaimed="
-              << static_cast<std::uint64_t>(r.bytes_per_reclaimed);
+              << static_cast<std::uint64_t>(r.bytes_per_reclaimed)
+              << " latency_p99=" << r.latency.percentile(99)
+              << " sweep_pause_p99=" << r.sweep_pause.percentile(99);
     if (r.peak_rss_kb.has_value()) {
       std::cout << " peak_rss_kb=" << *r.peak_rss_kb;
     }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench_json.hpp"
+#include "obs/metrics.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/spec.hpp"
 
@@ -32,6 +33,11 @@ struct EngineAgg {
   std::uint64_t total_bytes = 0;
   std::uint64_t packets = 0;
   std::uint64_t failures = 0;
+  // Merged across the class's runs: unreachable→reclaimed latency (sim
+  // ticks) and per-sweep pause (wall µs; GGD engines only — baselines
+  // have no sweep and report an honest zero-sample block).
+  obs::TickHistogram latency;
+  obs::TickHistogram sweep_pause;
 };
 
 struct ClassAgg {
@@ -73,6 +79,8 @@ void emit(const std::string& path) {
       e.total_bytes += run.total_bytes;
       e.packets += run.packets_sent;
       e.failures += run.ok() ? 0 : 1;
+      e.latency.merge(run.latency);
+      e.sweep_pause.merge(run.sweep_pause);
     }
   }
 
@@ -118,6 +126,8 @@ void emit(const std::string& path) {
       json.value(e.packets);
       json.key("conformance_failures");
       json.value(e.failures);
+      benchjson::write_latency_fields(json, e.latency);
+      benchjson::write_sweep_pause_fields(json, e.sweep_pause);
       json.close('}');
     }
     json.close('}');

@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Guard: every machine-readable bench artifact must carry the
+# reclamation-latency and sweep-pause percentile fields. A refactor that
+# silently drops them would leave the perf trajectory blind to the two
+# numbers the observability layer exists to track.
+#
+# Usage: check_bench_fields.sh <dir-containing-BENCH_*.json>
+set -u
+
+dir="${1:-build}"
+status=0
+
+for name in BENCH_transport.json BENCH_logkeeping.json \
+            BENCH_scenarios.json BENCH_scale.json; do
+  file="$dir/$name"
+  if [ ! -f "$file" ]; then
+    echo "MISSING FILE: $file" >&2
+    status=1
+    continue
+  fi
+  for field in latency_p99_ticks sweep_pause_p99; do
+    if ! grep -q "\"$field\"" "$file"; then
+      echo "MISSING FIELD: $name lacks \"$field\"" >&2
+      status=1
+    fi
+  done
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "bench field guard FAILED" >&2
+else
+  echo "bench field guard OK: all BENCH_*.json carry latency/pause fields"
+fi
+exit "$status"

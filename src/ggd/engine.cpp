@@ -1,5 +1,6 @@
 #include "ggd/engine.hpp"
 
+#include <chrono>
 #include <utility>
 #include <variant>
 
@@ -14,7 +15,58 @@ GgdProcess& GgdEngine::add_process(ProcessId id, SiteId site, bool is_root) {
   root_by_idx_.push_back(is_root ? 1 : 0);
   proc_order_.insert(id);
   attach_site(site);
+  procs_.back().set_observed(obs_attached_);
   return procs_.back();
+}
+
+void GgdEngine::attach_obs(obs::Registry* registry, obs::Journal* journal) {
+  journal_ = journal;
+  if (registry != nullptr) {
+    metrics_.sweep_pause_us = &registry->histogram("ggd.sweep_pause_us");
+    metrics_.sweep_scanned = &registry->histogram("ggd.sweep_scanned");
+    metrics_.walk_consulted = &registry->histogram("ggd.walk_consulted");
+    metrics_.relay_rows = &registry->histogram("ggd.relay_rows");
+    metrics_.walks = &registry->counter("ggd.walks");
+    metrics_.walks_blocked = &registry->counter("ggd.walks_blocked");
+    metrics_.walks_unreachable = &registry->counter("ggd.walks_unreachable");
+    metrics_.destructions_reemitted =
+        &registry->counter("ggd.destructions_reemitted");
+    metrics_.stubs_reclaimed = &registry->counter("ggd.stubs_reclaimed");
+    metrics_.inquiries = &registry->counter("ggd.inquiries");
+  } else {
+    metrics_ = DetectorMetrics{};
+  }
+  obs_attached_ = registry != nullptr || journal != nullptr;
+  for (GgdProcess& p : procs_) {
+    p.set_observed(obs_attached_);
+  }
+  logkeeping_.attach_obs(registry);
+}
+
+void GgdEngine::observe_walk(GgdProcess& p, SimTime now) {
+  if (!obs_attached_) {
+    return;
+  }
+  const GgdProcess::WalkObservation obs = p.take_last_walk();
+  if (!obs.valid) {
+    return;
+  }
+  if (metrics_.walks != nullptr) {
+    metrics_.walks->inc();
+    if (obs.result == GgdProcess::WalkResult::kBlocked) {
+      metrics_.walks_blocked->inc();
+    } else if (obs.result == GgdProcess::WalkResult::kUnreachable) {
+      metrics_.walks_unreachable->inc();
+    }
+    metrics_.walk_consulted->record(obs.consulted);
+  }
+  if (journal_ != nullptr) {
+    // WalkResult and obs::WalkVerdict share values by construction.
+    journal_->record(now, site_of(p.id()), obs::EventKind::kWalkVerdict,
+                     p.id(), obs.first_missing,
+                     obs::pack_walk(static_cast<obs::WalkVerdict>(obs.result),
+                                    obs.consulted, obs.missing));
+  }
 }
 
 void GgdEngine::attach_site(SiteId site) {
@@ -102,6 +154,10 @@ void GgdEngine::drop_ref(ProcessId j, ProcessId k) {
   CGC_CHECK_MSG(!migrating(j), "mutator op on a process in hand-off");
   GgdMessage msg = logkeeping_.on_drop_ref(process(j), k);
   pending_destructions_[{j, k}] = msg;
+  if (journal_ != nullptr) {
+    journal_->record(net_.simulator().now(), site_of(j),
+                     obs::EventKind::kDestructionEmit, j, k);
+  }
   deliver_ggd(std::move(msg));
 }
 
@@ -159,6 +215,10 @@ void GgdEngine::redirect(SiteId at, ProcessId target,
     // edges only); bounced destructions and inquiries are re-emitted by
     // the periodic sweep towards the current site-of-record.
     ++migration_stats_.bounced;
+    if (journal_ != nullptr) {
+      journal_->record(net_.simulator().now(), at,
+                       obs::EventKind::kMigrateBounce, target);
+    }
     return;
   }
   ForwardStub& stub = it->second;
@@ -167,6 +227,10 @@ void GgdEngine::redirect(SiteId at, ProcessId target,
     // set_redirect_ttl(0): "serves zero more redirects after the ack").
     stubs_.erase(it);
     ++migration_stats_.bounced;
+    if (journal_ != nullptr) {
+      journal_->record(net_.simulator().now(), at,
+                       obs::EventKind::kMigrateBounce, target);
+    }
     return;
   }
   ++migration_stats_.forwarded;
@@ -196,6 +260,10 @@ bool GgdEngine::migrate(ProcessId p, SiteId dst) {
       ForwardStub{dst, redirect_ttl_, /*armed=*/false, /*sweeps_survived=*/0};
   pending_handoffs_.emplace(ms.migration_id, ms);
   ++migration_stats_.started;
+  if (journal_ != nullptr) {
+    journal_->record(net_.simulator().now(), src,
+                     obs::EventKind::kMigrateFreeze, p, {}, dst.value());
+  }
   net_.send(src, dst, wire::WireMessage{MessageKind::kMigration, ms});
   return true;
 }
@@ -219,6 +287,11 @@ void GgdEngine::on_migrate_state(const wire::MigrateState& ms) {
   site_by_idx_[idx] = ms.dst;
   in_transit_.erase(ms.proc);
   ++migration_stats_.completed;
+  if (journal_ != nullptr) {
+    journal_->record(net_.simulator().now(), ms.dst,
+                     obs::EventKind::kMigrateDeliver, ms.proc, {},
+                     ms.src.value());
+  }
   net_.send(ms.dst, ms.src,
             wire::WireMessage{MessageKind::kMigration,
                               wire::MigrateAck{ms.migration_id, ms.proc,
@@ -263,6 +336,27 @@ void GgdEngine::deliver_ggd(GgdMessage msg) {
                                  : MessageKind::kGgdVector;
   const SiteId from = site_of(msg.from);
   const SiteId to = site_of(msg.to);
+  if (obs_attached_) {
+    if (msg.inquiry) {
+      if (metrics_.inquiries != nullptr) {
+        metrics_.inquiries->inc();
+      }
+      if (journal_ != nullptr) {
+        journal_->record(net_.simulator().now(), from, obs::EventKind::kInquiry,
+                         msg.from, msg.to);
+      }
+    }
+    if (!msg.rows.empty()) {
+      if (metrics_.relay_rows != nullptr) {
+        metrics_.relay_rows->record(msg.rows.size());
+      }
+      if (journal_ != nullptr) {
+        journal_->record(net_.simulator().now(), from,
+                         obs::EventKind::kRowRelay, msg.from, {},
+                         msg.rows.size());
+      }
+    }
+  }
   net_.send(from, to, wire::WireMessage{kind, wire::GgdControl{std::move(msg)}});
 }
 
@@ -271,6 +365,10 @@ void GgdEngine::on_ggd_message(const GgdMessage& msg) {
     // Delivered: the retransmission obligation for this edge is met (a
     // removal cascade's destruction supersedes the mutator's own).
     pending_destructions_.erase({msg.from, msg.to});
+    if (journal_ != nullptr) {
+      journal_->record(net_.simulator().now(), site_of(msg.to),
+                       obs::EventKind::kDestructionDeliver, msg.from, msg.to);
+    }
   }
   GgdProcess& target = process(msg.to);
   if (msg.inquiry) {
@@ -305,8 +403,13 @@ void GgdEngine::on_ggd_message(const GgdMessage& msg) {
   std::vector<GgdMessage> out =
       target.receive(msg, [this](ProcessId p) { return root_flag(p); },
                      net_.simulator().now());
+  observe_walk(target, net_.simulator().now());
   if (!was_removed && target.removed()) {
     removed_.push_back(msg.to);
+    if (journal_ != nullptr) {
+      journal_->record(net_.simulator().now(), site_of(msg.to),
+                       obs::EventKind::kReclaim, msg.to);
+    }
     if (on_removed_) {
       on_removed_(msg.to);
     }
@@ -351,6 +454,18 @@ void GgdEngine::schedule_flush(ProcessId p) {
 }
 
 void GgdEngine::periodic_sweep() {
+  // Wall-clock pause span: only measured when observability is attached
+  // (a steady_clock read per sweep is cheap but not free, and unobserved
+  // runs must stay untouched).
+  const SimTime sweep_at = net_.simulator().now();
+  std::chrono::steady_clock::time_point wall_start;
+  if (obs_attached_) {
+    wall_start = std::chrono::steady_clock::now();
+    if (journal_ != nullptr) {
+      journal_->record(sweep_at, SiteId{}, obs::EventKind::kSweepStart, {}, {},
+                       pending_destructions_.size());
+    }
+  }
   flush_delay_.clear();
   // Re-emit destruction messages that never arrived (lost packets): the
   // deployed system's local collector keeps re-summarising dropped edges.
@@ -364,6 +479,9 @@ void GgdEngine::periodic_sweep() {
       ++it;
     }
   }
+  if (metrics_.destructions_reemitted != nullptr) {
+    metrics_.destructions_reemitted->inc(reemit.size());
+  }
   dispatch_all(std::move(reemit));
   // Reclaim forwarding stubs stale traffic will never expire: a collected
   // mover needs no redirects, and an armed stub two sweep rounds old has
@@ -372,6 +490,9 @@ void GgdEngine::periodic_sweep() {
     if (process(it->first.second).removed() ||
         (it->second.armed && ++it->second.sweeps_survived >= 2)) {
       it = stubs_.erase(it);
+      if (metrics_.stubs_reclaimed != nullptr) {
+        metrics_.stubs_reclaimed->inc();
+      }
     } else {
       ++it;
     }
@@ -385,24 +506,45 @@ void GgdEngine::periodic_sweep() {
     ++migration_stats_.reemitted;
     net_.send(ms.src, ms.dst, wire::WireMessage{MessageKind::kMigration, ms});
   }
+  std::uint64_t scanned = 0;
   for (ProcessId id : proc_order_) {
     GgdProcess& proc = procs_[index_of(id)];
     if (proc.removed() || proc.is_root() || migrating(id)) {
       continue;
     }
+    ++scanned;
     proc.reset_inquiry_gates();
     const bool was_removed = proc.removed();
     std::vector<GgdMessage> out =
         proc.decide([this](ProcessId p) { return root_flag(p); },
                     /*allow_inquiry=*/true, net_.simulator().now());
+    observe_walk(proc, sweep_at);
     if (!was_removed && proc.removed()) {
       removed_.push_back(proc.id());
+      if (journal_ != nullptr) {
+        journal_->record(net_.simulator().now(), site_of(proc.id()),
+                         obs::EventKind::kReclaim, proc.id());
+      }
       if (on_removed_) {
         on_removed_(proc.id());
       }
     }
     dispatch_all(std::move(out));
     schedule_flush(proc.id());
+  }
+  if (obs_attached_) {
+    const auto wall_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+    if (metrics_.sweep_pause_us != nullptr) {
+      metrics_.sweep_pause_us->record(static_cast<std::uint64_t>(wall_us));
+      metrics_.sweep_scanned->record(scanned);
+    }
+    if (journal_ != nullptr) {
+      journal_->record(sweep_at, SiteId{}, obs::EventKind::kSweepEnd, {}, {},
+                       static_cast<std::uint64_t>(wall_us));
+    }
   }
 }
 

@@ -37,6 +37,8 @@
 #include "ggd/process.hpp"
 #include "logkeeping/lazy_logkeeping.hpp"
 #include "net/network.hpp"
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
 #include "wire/mailbox.hpp"
 
 namespace cgc {
@@ -149,6 +151,14 @@ class GgdEngine : public wire::Mailbox {
   }
 
   // -- Observability ------------------------------------------------------
+
+  /// Attaches a metrics registry and/or event journal (either may be
+  /// null). Strictly passive: attaching must not perturb a single wire
+  /// byte — the golden-trace test enforces this. The engine caches the
+  /// instrument pointers once here; hot paths then test one pointer.
+  void attach_obs(obs::Registry* registry, obs::Journal* journal);
+
+  [[nodiscard]] obs::Journal* journal() { return journal_; }
 
   /// Every process removed by GGD so far, in removal order.
   [[nodiscard]] const std::vector<ProcessId>& removed() const {
@@ -302,6 +312,29 @@ class GgdEngine : public wire::Mailbox {
 
   std::function<void(ProcessId)> on_removed_;
   std::function<void(ProcessId, ProcessId)> on_ref_delivered_;
+
+  // -- Observability instruments (all null/zero when not attached) --------
+  /// Cached registry instruments; looked up once in attach_obs so the
+  /// sweep/walk hot paths never do a by-name lookup.
+  struct DetectorMetrics {
+    obs::TickHistogram* sweep_pause_us = nullptr;
+    obs::TickHistogram* sweep_scanned = nullptr;
+    obs::TickHistogram* walk_consulted = nullptr;
+    obs::TickHistogram* relay_rows = nullptr;
+    obs::Counter* walks = nullptr;
+    obs::Counter* walks_blocked = nullptr;
+    obs::Counter* walks_unreachable = nullptr;
+    obs::Counter* destructions_reemitted = nullptr;
+    obs::Counter* stubs_reclaimed = nullptr;
+    obs::Counter* inquiries = nullptr;
+  };
+  DetectorMetrics metrics_;
+  obs::Journal* journal_ = nullptr;
+  bool obs_attached_ = false;
+
+  /// Records the observation of the decision walk `p` just ran (metrics +
+  /// journal verdict record). No-op when observability is not attached.
+  void observe_walk(GgdProcess& p, SimTime now);
 };
 
 }  // namespace cgc

@@ -240,6 +240,14 @@ std::vector<GgdMessage> GgdProcess::decide(
   FlatSet<ProcessId> consulted;
   const WalkResult res = walk_to_root(is_root, missing, root_evidence,
                                       consulted);
+  if (observed_) {
+    walk_obs_.result = res;
+    walk_obs_.consulted = static_cast<std::uint32_t>(consulted.size());
+    walk_obs_.missing = static_cast<std::uint32_t>(missing.size());
+    walk_obs_.first_missing =
+        missing.empty() ? ProcessId{} : *missing.begin();
+    walk_obs_.valid = true;
+  }
   if (!allow_inquiry && res != WalkResult::kUnreachable) {
     return out;
   }

@@ -227,6 +227,30 @@ class GgdProcess {
   /// Outcome of the edge-precise reachability walk over known self rows.
   enum class WalkResult { kReachable, kUnreachable, kBlocked };
 
+  /// Shape of the most recent decision walk, captured only when the
+  /// engine has observability attached (`set_observed(true)`). Strictly
+  /// diagnostic: never consulted by protocol code and deliberately NOT
+  /// part of GgdProcessSnapshot — a migrated process starts with no
+  /// recorded walk at its destination.
+  struct WalkObservation {
+    WalkResult result = WalkResult::kReachable;
+    std::uint32_t consulted = 0;  // replica rows the walk expanded
+    std::uint32_t missing = 0;    // rows the walk wanted but lacked
+    ProcessId first_missing;      // one concrete inquiry target, if any
+    bool valid = false;
+  };
+
+  /// Enables capture of walk observations in decide(). Off by default so
+  /// unobserved runs pay nothing (not even the copies into walk_obs_).
+  void set_observed(bool on) { observed_ = on; }
+
+  /// Returns and invalidates the observation of the last decide() walk.
+  [[nodiscard]] WalkObservation take_last_walk() {
+    WalkObservation out = walk_obs_;
+    walk_obs_.valid = false;
+    return out;
+  }
+
   /// Walks the replicated in-edge rows from this process's live incoming
   /// edges towards the roots. kBlocked means some transitive predecessor's
   /// row is missing; `missing` receives those processes (inquiry targets).
@@ -342,6 +366,9 @@ class GgdProcess {
   /// was last re-verified by inquiry. A stale replica claiming a live root
   /// edge is refreshed at most once per version.
   FlatMap<ProcessId, std::uint64_t> inquired_version_;
+  /// Observability capture (see WalkObservation). Not serialized.
+  bool observed_ = false;
+  WalkObservation walk_obs_;
   /// Per subject: the sim time of the last direct reply from the subject
   /// itself. An unreachable verdict may rest on a live subject's replica
   /// row only when that reply arrived AFTER the verdict began pending

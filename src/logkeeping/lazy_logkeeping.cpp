@@ -48,6 +48,11 @@ void LazyLogKeeping::on_receive_ref(GgdProcess& j, ProcessId k) const {
 
 GgdMessage LazyLogKeeping::on_drop_ref(GgdProcess& j, ProcessId k) const {
   GgdMessage msg = j.make_destruction_message(k);
+  if (bundle_entries_ != nullptr) {
+    // The §3.4 destruction bundle's payload size: every deferred on-behalf
+    // entry it delivers atomically rides in `v`.
+    bundle_entries_->record(msg.v.size());
+  }
   j.remove_acquaintance(k);
   j.log().erase_row(k);
   j.decertify_row(k);

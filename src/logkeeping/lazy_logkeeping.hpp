@@ -21,6 +21,7 @@
 #pragma once
 
 #include "ggd/process.hpp"
+#include "obs/metrics.hpp"
 
 namespace cgc {
 
@@ -60,8 +61,19 @@ class LazyLogKeeping {
   /// Removes k from j's acquaintances and drops the on-behalf row.
   [[nodiscard]] GgdMessage on_drop_ref(GgdProcess& j, ProcessId k) const;
 
+  /// Attaches a metrics registry (nullptr detaches). The only instrument
+  /// kept is the destruction-bundle payload histogram: entry count of each
+  /// bundle on_drop_ref emits — the lazily deferred on-behalf entries the
+  /// §3.4 bundle delivers atomically. Passive; no wire effect.
+  void attach_obs(obs::Registry* registry) {
+    bundle_entries_ =
+        registry == nullptr ? nullptr
+                            : &registry->histogram("logkeeping.bundle_entries");
+  }
+
  private:
   LogKeepingMode mode_;
+  obs::TickHistogram* bundle_entries_ = nullptr;
 };
 
 }  // namespace cgc

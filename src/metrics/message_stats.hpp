@@ -19,6 +19,11 @@ class MessageStats {
     std::uint64_t dropped = 0;
     std::uint64_t duplicated = 0;
     std::uint64_t bytes_sent = 0;  // exact framed wire bytes
+    /// Bytes that actually arrived (loss-adjusted goodput): duplicated
+    /// deliveries count every copy, dropped packets contribute nothing —
+    /// under loss, bytes_sent/reclaimed overstates the useful traffic and
+    /// this is the honest denominator.
+    std::uint64_t bytes_delivered = 0;
   };
 
   /// Packet-level counters: a packet is one transport unit (one or more
@@ -28,7 +33,8 @@ class MessageStats {
     std::uint64_t delivered = 0;
     std::uint64_t dropped = 0;
     std::uint64_t duplicated = 0;
-    std::uint64_t bytes_sent = 0;  // headers included
+    std::uint64_t bytes_sent = 0;       // headers included
+    std::uint64_t bytes_delivered = 0;  // headers included
   };
 
   void on_send(MessageKind k, std::size_t bytes) {
@@ -38,7 +44,11 @@ class MessageStats {
   }
   void on_drop(MessageKind k) { ++at(k).dropped; }
   void on_duplicate(MessageKind k) { ++at(k).duplicated; }
-  void on_deliver(MessageKind k) { ++at(k).delivered; }
+  void on_deliver(MessageKind k, std::size_t bytes = 0) {
+    auto& c = at(k);
+    ++c.delivered;
+    c.bytes_delivered += bytes;
+  }
 
   void on_packet_send(std::size_t bytes) {
     ++packets_.sent;
@@ -46,7 +56,10 @@ class MessageStats {
   }
   void on_packet_drop() { ++packets_.dropped; }
   void on_packet_duplicate() { ++packets_.duplicated; }
-  void on_packet_deliver() { ++packets_.delivered; }
+  void on_packet_deliver(std::size_t bytes = 0) {
+    ++packets_.delivered;
+    packets_.bytes_delivered += bytes;
+  }
 
   [[nodiscard]] const Counters& of(MessageKind k) const {
     return counters_[static_cast<std::size_t>(k)];
@@ -87,6 +100,24 @@ class MessageStats {
     std::uint64_t n = 0;
     for (const auto& c : counters_) {
       n += c.bytes_sent;
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::uint64_t control_bytes_delivered() const {
+    std::uint64_t n = 0;
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+      if (is_control(static_cast<MessageKind>(i))) {
+        n += counters_[i].bytes_delivered;
+      }
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::uint64_t total_bytes_delivered() const {
+    std::uint64_t n = 0;
+    for (const auto& c : counters_) {
+      n += c.bytes_delivered;
     }
     return n;
   }

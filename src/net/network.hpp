@@ -95,11 +95,14 @@ class Network {
     wire::Mailbox* const* box = mailboxes_.find(to);
     CGC_CHECK_MSG(box != nullptr,
                   "no mailbox registered for destination site");
-    stats_.on_packet_deliver();
+    stats_.on_packet_deliver(bytes.size());
     for (std::uint64_t i = 0; i < count; ++i) {
+      const std::size_t before = dec.consumed();
       std::optional<wire::WireMessage> msg = wire::decode_message(dec);
       CGC_CHECK_MSG(msg.has_value(), "malformed message in packet");
-      stats_.on_deliver(msg->kind);
+      // Decoder-position delta = this message's exact framed size, so
+      // delivered bytes mirror the sender-side bytes_sent accounting.
+      stats_.on_deliver(msg->kind, dec.consumed() - before);
       (*box)->deliver(from, to, *msg);
     }
     CGC_CHECK_MSG(dec.done(), "trailing bytes after last message");

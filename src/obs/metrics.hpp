@@ -1,0 +1,209 @@
+// Metrics registry: counters, gauges and a fixed-bucket tick histogram.
+//
+// The paper's claims are stated in message/byte counts; ROADMAP asks for
+// the TIME dimension too — reclamation-latency and pause percentiles —
+// before the budget-bounded sweep work can land against enforced numbers.
+// This registry is that measurement layer. Design constraints:
+//
+//   * allocation-free hot path: `record()` / `inc()` touch one array slot
+//     (all allocation happens at registration time),
+//   * exact percentiles: tick values are small integers, so unit-width
+//     buckets give EXACT p50/p90/p99 for any value below `kBuckets`; the
+//     overflow bucket keeps count and exact max, and a percentile landing
+//     there reports the max (documented, conservative),
+//   * strictly passive: nothing here is consulted by any protocol path,
+//     which is what the golden wire-trace hashes verify.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cgc::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t d = 1) { value_ += d; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_ = v; }
+  void add(std::int64_t d) { value_ += d; }
+  [[nodiscard]] std::int64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Point-in-time digest of a histogram (the fields every BENCH_*.json
+/// latency/pause block reports).
+struct Summary {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p90 = 0;
+  std::uint64_t p99 = 0;
+};
+
+/// Fixed-bucket histogram over small non-negative integers (sim ticks,
+/// microseconds, row counts). Unit-width buckets 0..kBuckets-1 are exact;
+/// larger values share the overflow bucket (count + exact max).
+class TickHistogram {
+ public:
+  static constexpr std::uint64_t kBuckets = 4096;
+
+  TickHistogram() : buckets_(kBuckets, 0) {}
+
+  void record(std::uint64_t v) {
+    if (v < kBuckets) {
+      ++buckets_[v];
+    } else {
+      ++overflow_;
+    }
+    ++count_;
+    sum_ += v;
+    max_ = std::max(max_, v);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+
+  /// Nearest-rank percentile (p in [0,100]): the smallest recorded value
+  /// whose cumulative count reaches ceil(p/100 * count). Exact for values
+  /// below kBuckets; a rank landing in the overflow bucket reports the
+  /// exact max (the distribution's tail is summarised, not lost). Returns
+  /// 0 on an empty histogram.
+  [[nodiscard]] std::uint64_t percentile(double p) const {
+    if (count_ == 0) {
+      return 0;
+    }
+    const double exact = p / 100.0 * static_cast<double>(count_);
+    std::uint64_t rank = static_cast<std::uint64_t>(exact);
+    if (static_cast<double>(rank) < exact) {
+      ++rank;  // ceil without <cmath>
+    }
+    rank = std::max<std::uint64_t>(1, std::min(rank, count_));
+    std::uint64_t seen = 0;
+    for (std::uint64_t b = 0; b < kBuckets; ++b) {
+      seen += buckets_[b];
+      if (seen >= rank) {
+        return b;
+      }
+    }
+    return max_;  // rank falls in the overflow bucket
+  }
+
+  [[nodiscard]] Summary summary() const {
+    return Summary{count_, sum_,           max_,
+                   percentile(50),         percentile(90), percentile(99)};
+  }
+
+  /// Merges another histogram in (bench aggregation across runs).
+  void merge(const TickHistogram& o) {
+    for (std::uint64_t b = 0; b < kBuckets; ++b) {
+      buckets_[b] += o.buckets_[b];
+    }
+    overflow_ += o.overflow_;
+    count_ += o.count_;
+    sum_ += o.sum_;
+    max_ = std::max(max_, o.max_);
+  }
+
+  /// Visits every non-empty bucket as (value, count), overflow last as
+  /// (max, overflow-count).
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::uint64_t b = 0; b < kBuckets; ++b) {
+      if (buckets_[b] > 0) {
+        f(b, buckets_[b]);
+      }
+    }
+    if (overflow_ > 0) {
+      f(max_, overflow_);
+    }
+  }
+
+  void reset() {
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    overflow_ = count_ = sum_ = max_ = 0;
+  }
+
+ private:
+  std::vector<std::uint64_t> buckets_;  // sized once; record() never allocates
+  std::uint64_t overflow_ = 0;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Name-keyed registry. Instruments are created on first lookup and have
+/// stable addresses (node-based map), so hot paths cache the pointer once
+/// at attach time and never look up by name again.
+class Registry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  TickHistogram& histogram(const std::string& name) {
+    return histograms_[name];
+  }
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, TickHistogram>& histograms()
+      const {
+    return histograms_;
+  }
+
+  /// Dumps every instrument as one JSON object (sorted by name — the map
+  /// order — so diffs between runs are stable).
+  void write_json(std::ostream& os) const {
+    os << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, c] : counters_) {
+      os << (first ? "" : ",") << "\n    \"" << name << "\": " << c.value();
+      first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+    first = true;
+    for (const auto& [name, g] : gauges_) {
+      os << (first ? "" : ",") << "\n    \"" << name << "\": " << g.value();
+      first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+    first = true;
+    for (const auto& [name, h] : histograms_) {
+      const Summary s = h.summary();
+      os << (first ? "" : ",") << "\n    \"" << name << "\": {\"count\": "
+         << s.count << ", \"sum\": " << s.sum << ", \"p50\": " << s.p50
+         << ", \"p90\": " << s.p90 << ", \"p99\": " << s.p99
+         << ", \"max\": " << s.max << ", \"overflow\": " << h.overflow()
+         << "}";
+      first = false;
+    }
+    os << (first ? "" : "\n  ") << "}\n}\n";
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, TickHistogram> histograms_;
+};
+
+}  // namespace cgc::obs

@@ -1,0 +1,21 @@
+// Chrome-trace / Perfetto JSON export of a Journal.
+//
+// Emits the Trace Event Format (the JSON array flavour): sweeps become
+// "X" complete events with their wall duration, everything else becomes
+// "i" instant events, and each site becomes a named process row so a run
+// opens as one timeline lane per site in chrome://tracing or
+// https://ui.perfetto.dev.
+#pragma once
+
+#include <ostream>
+
+#include "obs/journal.hpp"
+
+namespace cgc::obs {
+
+/// Writes `journal` as a complete Trace Event Format JSON document.
+/// Timestamps map 1 sim tick → 1000 µs so tick boundaries are legible at
+/// default zoom; sweep wall time (µs) is used as the span duration.
+void write_chrome_trace(std::ostream& os, const Journal& journal);
+
+}  // namespace cgc::obs

@@ -267,6 +267,63 @@ std::set<ProcessId> ReachabilityOracle::garbage_at(SimTime t) const {
   return out;
 }
 
+FlatMap<ProcessId, SimTime> ReachabilityOracle::unreachable_since() const {
+  // Incremental replay of the event log, one timestamp group at a time:
+  // after each group that touched the graph, recompute reachability and
+  // update per-process unreachability onsets. Re-linked processes forget
+  // their earlier onset (the latency clock restarts at the LAST descent
+  // into garbage). O(groups × BFS) — oracle-side analysis cost, never on
+  // an engine path.
+  FlatMap<ProcessId, FlatSet<ProcessId>> edges;
+  FlatSet<ProcessId> roots;
+  FlatMap<ProcessId, SimTime> since;
+  std::size_t i = 0;
+  while (i < history_.size()) {
+    const SimTime t = history_[i].at;
+    bool touched = false;
+    for (; i < history_.size() && history_[i].at == t; ++i) {
+      const Event& ev = history_[i];
+      switch (ev.kind) {
+        case Event::Kind::kRoot:
+          roots.insert(ev.a);
+          edges[ev.a];
+          touched = true;
+          break;
+        case Event::Kind::kNode:
+          edges[ev.a];
+          touched = true;
+          break;
+        case Event::Kind::kEdge:
+          edges[ev.a].insert(ev.b);
+          touched = true;
+          break;
+        case Event::Kind::kUnedge:
+          edges[ev.a].erase(ev.b);
+          touched = true;
+          break;
+        case Event::Kind::kSite:
+          break;  // site history never affects reachability
+      }
+    }
+    if (!touched) {
+      continue;
+    }
+    const std::set<ProcessId> seen = reach_from(roots, edges);
+    for (const auto& [p, targets] : edges) {
+      (void)targets;
+      if (roots.contains(p)) {
+        continue;
+      }
+      if (seen.contains(p)) {
+        since.erase(p);
+      } else {
+        since.emplace(p, t);  // keeps the earliest onset of THIS descent
+      }
+    }
+  }
+  return since;
+}
+
 std::vector<std::string> ReachabilityOracle::safety_violations(
     const std::set<ProcessId>& removed) const {
   std::vector<std::string> out;

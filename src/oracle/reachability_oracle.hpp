@@ -98,6 +98,15 @@ class ReachabilityOracle {
   /// Site-of-record as of sim time `t` (invalid when not yet recorded).
   [[nodiscard]] SiteId site_at(ProcessId id, SimTime t) const;
 
+  /// For every currently-unreachable non-root: the sim time at which it
+  /// LAST became unreachable (a process that went garbage, was re-linked
+  /// by a still-in-flight grant, then went garbage again reports the
+  /// second time). Newborns whose creating edge never materialised count
+  /// as unreachable from their registration. This is the ground-truth
+  /// side of the unreachable→reclaimed latency join: an engine removal at
+  /// time r of process p scores latency r − unreachable_since()[p].
+  [[nodiscard]] FlatMap<ProcessId, SimTime> unreachable_since() const;
+
   // -- Verdicts ------------------------------------------------------------
 
   /// SAFETY: every process an engine removed must be garbage. Returns one

@@ -30,6 +30,34 @@ void snapshot_stats(EngineRun& run, const MessageStats& stats) {
   run.packets_sent = stats.packets().sent;
 }
 
+/// Every process the trace registers, in creation order (the candidates a
+/// baseline can ever remove).
+std::vector<ProcessId> procs_in(const std::vector<MutatorOp>& ops) {
+  std::vector<ProcessId> out;
+  for (const MutatorOp& op : ops) {
+    if (op.kind == MutatorOp::Kind::kAddRoot ||
+        op.kind == MutatorOp::Kind::kCreate) {
+      out.push_back(op.a);
+    }
+  }
+  return out;
+}
+
+/// Joins engine removal times against ground-truth unreachability onsets
+/// into the run's latency histogram, and records the removal set itself
+/// (baselines previously reported an always-empty set in the bench JSON).
+void record_latencies(EngineRun& run, const ReachabilityOracle& oracle,
+                      const FlatMap<ProcessId, SimTime>& removed_at) {
+  const FlatMap<ProcessId, SimTime> since = oracle.unreachable_since();
+  for (const auto& [p, at] : removed_at) {
+    run.removed.insert(p);
+    auto it = since.find(p);
+    if (it != since.end() && at >= it->second) {
+      run.latency.record(at - it->second);
+    }
+  }
+}
+
 /// Our GGD through the real Scenario stack: mutation under the spec's
 /// fault profile, then heal + periodic sweeps (the paper's fairness
 /// assumption: faults are transient, delivery is eventually fair).
@@ -41,6 +69,11 @@ EngineRun run_ggd(const ScenarioSpec& spec, const std::vector<MutatorOp>& ops,
   Scenario s(Scenario::Config{.net = spec.net_config(),
                               .mode = mode,
                               .num_sites = spec.num_sites});
+  // Observability ride-along: passive by contract (the golden-trace test
+  // pins that down), so attaching in the conformance path is free of
+  // divergence risk and gives every report latency/pause percentiles.
+  obs::Registry reg;
+  s.engine().attach_obs(&reg, nullptr);
   Rng burst_rng(spec.seed * 0x2545f4914f6cdd1dULL + 1);
   for (const MutatorOp& op : ops) {
     if (!s.apply(op)) {
@@ -72,6 +105,10 @@ EngineRun run_ggd(const ScenarioSpec& spec, const std::vector<MutatorOp>& ops,
   }
   run.removed = s.removed();
   snapshot_stats(run, s.net().stats());
+  for (SimTime l : s.reclaim_latencies()) {
+    run.latency.record(l);
+  }
+  run.sweep_pause = reg.histogram("ggd.sweep_pause_us");
   if (!s.safety_holds()) {
     for (const std::string& v : s.violations()) {
       run.failures.push_back("SAFETY: " + v);
@@ -91,19 +128,33 @@ EngineRun run_ggd(const ScenarioSpec& spec, const std::vector<MutatorOp>& ops,
 /// Replays the trace on a baseline engine, paced (baselines model eager
 /// state at the sender; quiescing between ops is their delivery-fairness
 /// assumption), mirroring it into a trace-level oracle.
-template <typename Engine>
+template <typename Engine, typename RemovedFn>
 EngineRun run_baseline(std::string name, const std::vector<MutatorOp>& ops,
                        ReachabilityOracle& oracle, Engine& engine,
-                       Simulator& sim) {
+                       Simulator& sim, const RemovedFn& is_removed,
+                       FlatMap<ProcessId, SimTime>& removed_at) {
   EngineRun run;
   run.name = std::move(name);
   run.ran = true;
+  std::vector<ProcessId> known;
   for (const MutatorOp& op : ops) {
-    CGC_CHECK_MSG(oracle.apply(op), "conformance trace must be legal");
+    // Ops are stamped with sim time so the oracle's unreachability onsets
+    // line up with the engine's removal clock.
+    CGC_CHECK_MSG(oracle.apply(op, sim.now()),
+                  "conformance trace must be legal");
+    if (op.kind == MutatorOp::Kind::kAddRoot ||
+        op.kind == MutatorOp::Kind::kCreate) {
+      known.push_back(op.a);
+    }
     engine.apply(op);
     if (!sim.run()) {
       run.failures.push_back("simulator did not quiesce");
       return run;
+    }
+    for (ProcessId p : known) {
+      if (!removed_at.contains(p) && is_removed(p)) {
+        removed_at.emplace(p, sim.now());
+      }
     }
   }
   return run;
@@ -219,12 +270,22 @@ ConformanceReport run_conformance(const ScenarioSpec& spec,
     Network net(sim, spec.net_config());
     TracingCollector engine(net);
     ReachabilityOracle oracle;
-    EngineRun run = run_baseline("tracing", ops, oracle, engine, sim);
+    FlatMap<ProcessId, SimTime> removed_at;
+    EngineRun run = run_baseline(
+        "tracing", ops, oracle, engine, sim,
+        [&engine](ProcessId p) { return engine.removed(p); }, removed_at);
     if (run.ok()) {
       engine.run_cycle();
       if (!sim.run()) {
         run.failures.push_back("simulator did not quiesce after cycle");
       }
+      // Tracing reclaims only at cycle end: stamp everything swept now.
+      for (ProcessId p : procs_in(ops)) {
+        if (!removed_at.contains(p) && engine.removed(p)) {
+          removed_at.emplace(p, sim.now());
+        }
+      }
+      record_latencies(run, oracle, removed_at);
       for (ProcessId p : oracle.reachable()) {
         if (engine.removed(p) && !oracle.roots().contains(p)) {
           run.failures.push_back("SAFETY: live proc " + p.str() + " swept");
@@ -257,8 +318,15 @@ ConformanceReport run_conformance(const ScenarioSpec& spec,
     Network net(sim, spec.net_config());
     SchelvisEngine engine(net);
     ReachabilityOracle oracle;
-    EngineRun run = run_baseline("schelvis", ops, oracle, engine, sim);
+    FlatMap<ProcessId, SimTime> removed_at;
+    EngineRun run = run_baseline(
+        "schelvis", ops, oracle, engine, sim,
+        [&engine](ProcessId p) {
+          return engine.exists(p) && engine.removed(p);
+        },
+        removed_at);
     if (run.ok()) {
+      record_latencies(run, oracle, removed_at);
       for (ProcessId p : oracle.reachable()) {
         if (engine.exists(p) && engine.removed(p)) {
           run.failures.push_back("SAFETY: live proc " + p.str() + " removed");
@@ -286,8 +354,12 @@ ConformanceReport run_conformance(const ScenarioSpec& spec,
     Network net(sim, spec.net_config());
     WrcEngine engine(net);
     ReachabilityOracle oracle;
-    EngineRun run = run_baseline("wrc", ops, oracle, engine, sim);
+    FlatMap<ProcessId, SimTime> removed_at;
+    EngineRun run = run_baseline(
+        "wrc", ops, oracle, engine, sim,
+        [&engine](ProcessId p) { return engine.removed(p); }, removed_at);
     if (run.ok()) {
+      record_latencies(run, oracle, removed_at);
       for (ProcessId p : oracle.reachable()) {
         if (engine.removed(p)) {
           run.failures.push_back("SAFETY: live proc " + p.str() + " removed");

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "metrics/message_stats.hpp"
+#include "obs/metrics.hpp"
 #include "scenario/spec.hpp"
 
 namespace cgc {
@@ -62,6 +63,14 @@ struct EngineRun {
   std::uint64_t total_msgs = 0;
   std::uint64_t total_bytes = 0;
   std::uint64_t packets_sent = 0;
+  /// Unreachable→reclaimed latency (sim ticks): engine removal time
+  /// joined against the oracle's ground-truth unreachability onset, one
+  /// sample per reclaimed process. The completeness *lag* — measurable
+  /// before this only as a boolean verdict.
+  obs::TickHistogram latency;
+  /// Per-sweep wall-clock pause (µs). GGD engines only; baselines have no
+  /// sweep and leave it empty.
+  obs::TickHistogram sweep_pause;
   std::vector<std::string> failures;
 
   [[nodiscard]] bool ok() const { return failures.empty(); }

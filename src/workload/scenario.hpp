@@ -46,6 +46,7 @@ class Scenario {
     });
     engine_.set_on_removed([this](ProcessId p) {
       removed_.insert(p);
+      removed_at_.emplace(p, sim_.now());
       // Tripwire: garbage is stable, so a removal of a currently reachable
       // process is a safety violation no matter what happens later. Record
       // the offender's state at the instant of the decision.
@@ -250,6 +251,30 @@ class Scenario {
   }
 
   [[nodiscard]] const std::set<ProcessId>& removed() const { return removed_; }
+
+  /// Sim time at which each removal happened (keys ⊆ removed()).
+  [[nodiscard]] const FlatMap<ProcessId, SimTime>& removed_at() const {
+    return removed_at_;
+  }
+
+  /// Unreachable→reclaimed latency samples (in sim ticks): for every
+  /// process the engine reclaimed, removal time minus the oracle's
+  /// ground-truth unreachability onset. Processes re-linked after their
+  /// removal decision (impossible — garbage is stable) or removed with no
+  /// recorded onset (a newborn collected before any graph event at its
+  /// timestamp group) contribute nothing rather than a bogus sample.
+  [[nodiscard]] std::vector<SimTime> reclaim_latencies() const {
+    const FlatMap<ProcessId, SimTime> since = oracle_.unreachable_since();
+    std::vector<SimTime> out;
+    out.reserve(removed_at_.size());
+    for (const auto& [p, at] : removed_at_) {
+      auto it = since.find(p);
+      if (it != since.end() && at >= it->second) {
+        out.push_back(at - it->second);
+      }
+    }
+    return out;
+  }
   [[nodiscard]] const FlatSet<ProcessId>& roots() const {
     return oracle_.roots();
   }
@@ -292,6 +317,7 @@ class Scenario {
   std::uint64_t id_counter_ = 0;
   ReachabilityOracle oracle_;
   std::set<ProcessId> removed_;
+  FlatMap<ProcessId, SimTime> removed_at_;
   std::vector<std::string> violations_;
 };
 

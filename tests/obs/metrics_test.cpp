@@ -1,0 +1,162 @@
+// TickHistogram edge cases and a differential percentile check against a
+// sorted-vector nearest-rank reference — the histogram's percentiles are
+// advertised as EXACT below the bucket range, so the test holds it to
+// that, not to an approximation band.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "obs/metrics.hpp"
+
+namespace cgc::obs {
+namespace {
+
+/// Nearest-rank percentile over an explicit sample list (the textbook
+/// definition the histogram promises to match below kBuckets).
+std::uint64_t reference_percentile(std::vector<std::uint64_t> samples,
+                                   double p) {
+  if (samples.empty()) {
+    return 0;
+  }
+  std::sort(samples.begin(), samples.end());
+  const double exact = p / 100.0 * static_cast<double>(samples.size());
+  std::size_t rank = static_cast<std::size_t>(exact);
+  if (static_cast<double>(rank) < exact) {
+    ++rank;
+  }
+  rank = std::max<std::size_t>(1, std::min(rank, samples.size()));
+  return samples[rank - 1];
+}
+
+TEST(TickHistogram, EmptyHistogramReportsZeros) {
+  TickHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(50), 0u);
+  EXPECT_EQ(h.percentile(99), 0u);
+  const Summary s = h.summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.p50, 0u);
+  EXPECT_EQ(s.p99, 0u);
+  EXPECT_EQ(s.max, 0u);
+}
+
+TEST(TickHistogram, SingleSampleIsEveryPercentile) {
+  TickHistogram h;
+  h.record(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 42u);
+  EXPECT_EQ(h.percentile(0.001), 42u);
+  EXPECT_EQ(h.percentile(50), 42u);
+  EXPECT_EQ(h.percentile(100), 42u);
+  EXPECT_EQ(h.max(), 42u);
+}
+
+TEST(TickHistogram, BucketBoundaries) {
+  TickHistogram h;
+  // 0 (first bucket), kBuckets-1 (last exact bucket), kBuckets and above
+  // (overflow, counted but summarised by the max).
+  h.record(0);
+  h.record(TickHistogram::kBuckets - 1);
+  h.record(TickHistogram::kBuckets);
+  h.record(TickHistogram::kBuckets + 1000);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.max(), TickHistogram::kBuckets + 1000);
+  EXPECT_EQ(h.percentile(1), 0u);
+  EXPECT_EQ(h.percentile(50), TickHistogram::kBuckets - 1);
+}
+
+TEST(TickHistogram, OverflowPercentileReportsExactMax) {
+  TickHistogram h;
+  h.record(1);
+  for (int i = 0; i < 99; ++i) {
+    h.record(1'000'000);  // deep in the overflow bucket
+  }
+  // Ranks landing in overflow collapse to the exact max — conservative
+  // (never under-reports the tail), and documented.
+  EXPECT_EQ(h.percentile(50), 1'000'000u);
+  EXPECT_EQ(h.percentile(99), 1'000'000u);
+  EXPECT_EQ(h.percentile(1), 1u);
+}
+
+TEST(TickHistogram, DifferentialAgainstSortedVectorReference) {
+  Rng rng(0xfeedULL);
+  for (int trial = 0; trial < 20; ++trial) {
+    TickHistogram h;
+    std::vector<std::uint64_t> samples;
+    const std::size_t n = 1 + rng.below(500);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Stay below kBuckets where the histogram promises exactness.
+      const std::uint64_t v = rng.below(TickHistogram::kBuckets);
+      h.record(v);
+      samples.push_back(v);
+    }
+    for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+      EXPECT_EQ(h.percentile(p), reference_percentile(samples, p))
+          << "trial " << trial << " n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(TickHistogram, MergeEqualsRecordingIntoOne) {
+  Rng rng(7);
+  TickHistogram a;
+  TickHistogram b;
+  TickHistogram both;
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t v = rng.below(5000);  // overflow included
+    (i % 2 == 0 ? a : b).record(v);
+    both.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.sum(), both.sum());
+  EXPECT_EQ(a.max(), both.max());
+  EXPECT_EQ(a.overflow(), both.overflow());
+  for (double p : {50.0, 90.0, 99.0}) {
+    EXPECT_EQ(a.percentile(p), both.percentile(p));
+  }
+}
+
+TEST(TickHistogram, ForEachVisitsEveryRecordOnce) {
+  TickHistogram h;
+  h.record(3);
+  h.record(3);
+  h.record(7);
+  h.record(TickHistogram::kBuckets + 5);
+  std::uint64_t total = 0;
+  std::uint64_t weighted = 0;
+  h.for_each([&](std::uint64_t value, std::uint64_t count) {
+    total += count;
+    weighted += value * count;
+  });
+  EXPECT_EQ(total, h.count());
+  // Overflow reports the max as its representative value.
+  EXPECT_EQ(weighted, 3 * 2 + 7 + (TickHistogram::kBuckets + 5));
+}
+
+TEST(Registry, InstrumentsHaveStableAddressesAndDumpAsJson) {
+  Registry reg;
+  Counter* c = &reg.counter("a.count");
+  reg.counter("z.count").inc(9);
+  reg.gauge("g").set(-3);
+  reg.histogram("h").record(11);
+  // Later registrations must not move earlier instruments (hot paths
+  // cache the pointer at attach time).
+  EXPECT_EQ(c, &reg.counter("a.count"));
+  c->inc(2);
+
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"a.count\": 2"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"z.count\": 9"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"g\": -3"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"p50\": 11"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace cgc::obs

@@ -1,0 +1,114 @@
+// Unreachable→reclaimed latency plumbing: the oracle's onset query
+// (`unreachable_since`), the Scenario-level join (`reclaim_latencies`),
+// and the conformance runner's per-engine latency/pause histograms.
+#include <gtest/gtest.h>
+
+#include "oracle/reachability_oracle.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+#include "workload/builders.hpp"
+#include "workload/scenario.hpp"
+
+namespace cgc {
+namespace {
+
+ProcessId P(std::uint64_t v) { return ProcessId{v}; }
+
+TEST(UnreachableSince, NewbornWithoutEdgeCountsFromRegistration) {
+  ReachabilityOracle o;
+  o.add_root(P(1), 0);
+  o.add_node(P(2), 4);  // creating edge never materialised
+  const auto since = o.unreachable_since();
+  EXPECT_FALSE(since.contains(P(1)));  // roots are never unreachable
+  ASSERT_TRUE(since.contains(P(2)));
+  EXPECT_EQ(since.find(P(2))->second, 4u);
+}
+
+TEST(UnreachableSince, RelinkForgetsEarlierOnset) {
+  ReachabilityOracle o;
+  o.add_root(P(1), 0);
+  o.add_node(P(2), 0);
+  o.add_edge(P(1), P(2), 5);
+  EXPECT_FALSE(o.unreachable_since().contains(P(2)));
+
+  o.remove_edge(P(1), P(2), 9);
+  ASSERT_TRUE(o.unreachable_since().contains(P(2)));
+  EXPECT_EQ(o.unreachable_since().find(P(2))->second, 9u);
+
+  // Re-linked, then severed again: the LAST onset is what latency is
+  // measured against — blaming the engine for the window where the object
+  // was live again would overstate its latency.
+  o.add_edge(P(1), P(2), 12);
+  EXPECT_FALSE(o.unreachable_since().contains(P(2)));
+  o.remove_edge(P(1), P(2), 20);
+  ASSERT_TRUE(o.unreachable_since().contains(P(2)));
+  EXPECT_EQ(o.unreachable_since().find(P(2))->second, 20u);
+}
+
+TEST(UnreachableSince, WholeSubtreeSharesTheSeveringOnset) {
+  ReachabilityOracle o;
+  o.add_root(P(1), 0);
+  o.add_node(P(2), 1);
+  o.add_node(P(3), 1);
+  o.add_edge(P(1), P(2), 2);
+  o.add_edge(P(2), P(3), 3);
+  o.remove_edge(P(1), P(2), 7);  // severs 2 AND everything under it
+  const auto since = o.unreachable_since();
+  ASSERT_TRUE(since.contains(P(2)));
+  ASSERT_TRUE(since.contains(P(3)));
+  EXPECT_EQ(since.find(P(2))->second, 7u);
+  EXPECT_EQ(since.find(P(3))->second, 7u);
+}
+
+TEST(UnreachableSince, TraceLevelOpsCarryTheirTimestamps) {
+  ReachabilityOracle o;
+  EXPECT_TRUE(o.apply({MutatorOp::Kind::kAddRoot, P(1), {}, {}}, 0));
+  EXPECT_TRUE(o.apply({MutatorOp::Kind::kCreate, P(2), P(1), {}}, 3));
+  EXPECT_TRUE(o.apply({MutatorOp::Kind::kDrop, P(1), P(2), {}}, 8));
+  const auto since = o.unreachable_since();
+  ASSERT_TRUE(since.contains(P(2)));
+  EXPECT_EQ(since.find(P(2))->second, 8u);
+}
+
+TEST(ReclaimLatency, ScenarioJoinYieldsOneSamplePerCollectedObject) {
+  Scenario s(Scenario::Config{.net = NetworkConfig{.min_latency = 1,
+                                                   .max_latency = 2,
+                                                   .drop_rate = 0,
+                                                   .duplicate_rate = 0,
+                                                   .seed = 5}});
+  const ProcessId root = s.add_root();
+  const auto elems = build_ring_with_subcycles(s, root, 6);
+  s.run();
+  s.drop_ref(root, elems.front());
+  s.run_with_sweeps();
+  ASSERT_FALSE(s.removed().empty());
+  const std::vector<SimTime> lats = s.reclaim_latencies();
+  // Fault-free and quiesced: every removal joins against a ground-truth
+  // onset, so the histogram gets exactly one sample per collected object.
+  EXPECT_EQ(lats.size(), s.removed().size());
+}
+
+TEST(ReclaimLatency, ConformanceRunsCarryLatencyAndPauseHistograms) {
+  const ScenarioSpec spec = spec_from_seed(20);  // migration churn, collects
+  const std::vector<MutatorOp> ops = generate_trace(spec);
+  const ConformanceReport report = run_conformance(spec, ops);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  bool saw_ggd = false;
+  for (const EngineRun& run : report.engines) {
+    // Percentiles are monotone on every engine, measured or empty.
+    EXPECT_LE(run.latency.percentile(50), run.latency.percentile(99));
+    EXPECT_LE(run.latency.percentile(99), run.latency.max());
+    EXPECT_LE(run.sweep_pause.percentile(50), run.sweep_pause.percentile(99));
+    EXPECT_LE(run.sweep_pause.percentile(99), run.sweep_pause.max());
+    if (run.name == "ggd_robust") {
+      saw_ggd = true;
+      EXPECT_GT(run.latency.count(), 0u);      // it collected something
+      EXPECT_GT(run.sweep_pause.count(), 0u);  // and swept to do it
+      EXPECT_EQ(run.latency.count(), run.removed.size());
+    }
+  }
+  EXPECT_TRUE(saw_ggd);
+}
+
+}  // namespace
+}  // namespace cgc

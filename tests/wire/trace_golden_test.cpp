@@ -15,6 +15,8 @@
 
 #include <cstdint>
 
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
 #include "workload/builders.hpp"
 #include "workload/scenario.hpp"
 
@@ -57,7 +59,7 @@ struct Golden {
   std::uint64_t hash;
 };
 
-void run_and_check(const Golden& golden) {
+void run_and_check(const Golden& golden, bool observed = false) {
   Scenario s(Scenario::Config{
       .net = NetworkConfig{.min_latency = 1,
                            .max_latency = 4,
@@ -65,6 +67,14 @@ void run_and_check(const Golden& golden) {
                            .duplicate_rate = golden.fault,
                            .seed = golden.seed},
   });
+  // Observability passivity guard: with the journal and registry attached
+  // the hashes below must STILL match the pre-refactor recording — the
+  // instruments may watch the protocol but never touch the wire.
+  obs::Registry registry;
+  obs::Journal journal;
+  if (observed) {
+    s.engine().attach_obs(&registry, &journal);
+  }
   wire::WireTrace trace;
   s.net().set_trace(&trace);
   const ProcessId root = s.add_root();
@@ -81,6 +91,12 @@ void run_and_check(const Golden& golden) {
   EXPECT_EQ(trace_hash(trace), golden.hash)
       << "packet BYTES/ORDER changed vs the pre-refactor recording (seed "
       << golden.seed << ")";
+  if (observed) {
+    // A passivity check against an instrument that recorded nothing would
+    // be vacuous.
+    EXPECT_GT(journal.recorded(), 0u);
+    EXPECT_GT(registry.counter("ggd.walks").value(), 0u);
+  }
 }
 
 TEST(TraceGolden, FaultyRunMatchesPreRefactorRecording) {
@@ -93,6 +109,16 @@ TEST(TraceGolden, FaultFreeRunMatchesPreRefactorRecording) {
 
 TEST(TraceGolden, LowFaultRunMatchesPreRefactorRecording) {
   run_and_check({123456, 0.05, 1004, 0x0b1d56effe8f5accULL});
+}
+
+// Satellite guard for the observability PR: enabling the event journal
+// and the metrics registry must not perturb a single wire byte, packet
+// fate, or delivery time on any golden workload.
+TEST(TraceGolden, JournalAndMetricsArePassive) {
+  run_and_check({99, 0.10, 1050, 0x0359a72679589b30ULL}, /*observed=*/true);
+  run_and_check({7, 0.0, 868, 0x8597902a103d8c1fULL}, /*observed=*/true);
+  run_and_check({123456, 0.05, 1004, 0x0b1d56effe8f5accULL},
+                /*observed=*/true);
 }
 
 }  // namespace
