@@ -26,6 +26,14 @@ for name in BENCH_transport.json BENCH_logkeeping.json \
   done
 done
 
+# The scale tier additionally carries the threaded-runtime throughput
+# number (mailbox envelopes/sec through the worker threads).
+if [ -f "$dir/BENCH_scale.json" ] &&
+   ! grep -q '"threaded_events_per_sec"' "$dir/BENCH_scale.json"; then
+  echo "MISSING FIELD: BENCH_scale.json lacks \"threaded_events_per_sec\"" >&2
+  status=1
+fi
+
 if [ "$status" -ne 0 ]; then
   echo "bench field guard FAILED" >&2
 else

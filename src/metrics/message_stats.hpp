@@ -127,6 +127,29 @@ class MessageStats {
     packets_ = {};
   }
 
+  /// Accumulates `other` into this object. The threaded runtime keeps one
+  /// stats instance per worker (so no counter is ever written from two
+  /// threads) and merges them after the join — shared-counter accounting
+  /// was a data race under TSan.
+  void merge(const MessageStats& other) {
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+      Counters& c = counters_[i];
+      const Counters& o = other.counters_[i];
+      c.sent += o.sent;
+      c.delivered += o.delivered;
+      c.dropped += o.dropped;
+      c.duplicated += o.duplicated;
+      c.bytes_sent += o.bytes_sent;
+      c.bytes_delivered += o.bytes_delivered;
+    }
+    packets_.sent += other.packets_.sent;
+    packets_.delivered += other.packets_.delivered;
+    packets_.dropped += other.packets_.dropped;
+    packets_.duplicated += other.packets_.duplicated;
+    packets_.bytes_sent += other.packets_.bytes_sent;
+    packets_.bytes_delivered += other.packets_.bytes_delivered;
+  }
+
  private:
   Counters& at(MessageKind k) {
     return counters_[static_cast<std::size_t>(k)];

@@ -1,0 +1,82 @@
+// Lock-free multi-producer single-consumer mailbox.
+//
+// Vyukov's non-intrusive MPSC queue: producers swap themselves in at the
+// head with one atomic exchange (wait-free), the single consumer chases
+// the linked list from the tail. This is the only synchronisation between
+// threaded sites — every packet a site receives arrives through one of
+// these, so the queue's linearisation order IS the delivery order the
+// recorded trace totals.
+//
+// Ordering guarantees the threaded runtime leans on:
+//   * per-producer FIFO: one producer's pushes are dequeued in push order;
+//   * cross-producer causality: a push that COMPLETED before another push
+//     BEGAN is dequeued first (exchange order is the linearisation).
+// Both are exercised by tests/runtime_mt/mpsc_queue_test.cpp against a
+// mutex+deque reference.
+//
+// One consumer-visible quirk, inherent to the design: between a producer's
+// head exchange and its `prev->next` store, the list is transiently
+// unlinked, so `try_pop` can return nullopt while a LATER producer's
+// element is already linked. The element is not lost — the consumer's next
+// poll sees it once the store lands. Consumers are poll loops, so the
+// transient gap costs one retry, never an envelope.
+#pragma once
+
+#include <atomic>
+#include <optional>
+#include <utility>
+
+namespace cgc::runtime_mt {
+
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() : head_(new Node), tail_(head_.load(std::memory_order_relaxed)) {}
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  ~MpscQueue() {
+    Node* n = tail_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  /// Any thread. Wait-free (one exchange, one store).
+  void push(T value) {
+    Node* node = new Node;
+    node->value = std::move(value);
+    Node* prev = head_.exchange(node, std::memory_order_acq_rel);
+    // Linking the predecessor AFTER the exchange is what makes the queue
+    // lock-free for producers; the release pairs with try_pop's acquire so
+    // the consumer sees the fully-constructed value.
+    prev->next.store(node, std::memory_order_release);
+  }
+
+  /// Consumer thread only. nullopt when empty (or transiently unlinked —
+  /// see the header comment).
+  std::optional<T> try_pop() {
+    Node* next = tail_->next.load(std::memory_order_acquire);
+    if (next == nullptr) {
+      return std::nullopt;
+    }
+    std::optional<T> out(std::move(next->value));
+    delete tail_;
+    tail_ = next;  // the popped node becomes the new stub
+    return out;
+  }
+
+ private:
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    T value{};
+  };
+
+  std::atomic<Node*> head_;  // producers' side: last enqueued node
+  Node* tail_;               // consumer's side: stub / last popped
+};
+
+}  // namespace cgc::runtime_mt

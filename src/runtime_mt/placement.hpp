@@ -1,0 +1,49 @@
+// Immutable process placement shared by every threaded site.
+//
+// "Sites share nothing but the transport" needs one qualification: every
+// site must agree where a process lives (to address packets) and whether
+// it is an actual root (the walk's termination predicate). Both are pure
+// functions of data fixed before the first worker starts — the modulo
+// placement the Scenario stack already uses, and the set of kAddRoot ids
+// in the trace — so the sites share this one read-only object instead of
+// the engine's mutable routing tables. No migration in threaded mode: the
+// site-of-record never changes, which is exactly what makes the placement
+// immutable (the roadmap's hand-off-under-threads item stays open).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/flat_map.hpp"
+#include "common/types.hpp"
+#include "workload/ops.hpp"
+
+namespace cgc::runtime_mt {
+
+class Placement {
+ public:
+  Placement(std::uint64_t num_sites, const std::vector<MutatorOp>& ops)
+      : num_sites_(num_sites) {
+    CGC_CHECK_MSG(num_sites_ > 0, "threaded placement needs at least 1 site");
+    for (const MutatorOp& op : ops) {
+      CGC_CHECK_MSG(op.kind != MutatorOp::Kind::kMigrate,
+                    "threaded mode does not support migration traces");
+      if (op.kind == MutatorOp::Kind::kAddRoot) {
+        roots_.insert(op.a);
+      }
+    }
+  }
+
+  [[nodiscard]] SiteId site_for(ProcessId p) const {
+    return SiteId{p.value() % num_sites_};
+  }
+  [[nodiscard]] bool is_root(ProcessId p) const { return roots_.contains(p); }
+  [[nodiscard]] std::uint64_t num_sites() const { return num_sites_; }
+
+ private:
+  std::uint64_t num_sites_;
+  FlatSet<ProcessId> roots_;
+};
+
+}  // namespace cgc::runtime_mt

@@ -1,0 +1,229 @@
+#include "runtime_mt/site_node.hpp"
+
+#include <variant>
+
+#include "wire/codec.hpp"
+
+namespace cgc::runtime_mt {
+
+SiteNode::SiteNode(SiteId site, const Placement& placement,
+                   LogKeepingMode mode, MessageStats* stats)
+    : site_(site),
+      placement_(placement),
+      logkeeping_(mode),
+      is_root_fn_([this](ProcessId p) { return placement_.is_root(p); }),
+      stats_(stats) {}
+
+void SiteNode::register_process(ProcessId id, bool is_root) {
+  const std::uint32_t idx = ids_.intern(id);
+  CGC_CHECK(idx == procs_.size());
+  procs_.emplace_back(id, is_root);
+  proc_order_.insert(id);
+}
+
+bool SiteNode::holds(ProcessId holder, ProcessId target) const {
+  auto it = held_.find(holder);
+  return it != held_.end() && it->second.contains(target);
+}
+
+bool SiteNode::apply(const MutatorOp& op) {
+  ++clock_;
+  CGC_CHECK_MSG(placement_.site_for(op.a) == site_, "op routed to wrong site");
+  switch (op.kind) {
+    case MutatorOp::Kind::kAddRoot:
+      if (ids_.knows(op.a)) {
+        return false;
+      }
+      register_process(op.a, /*is_root=*/true);
+      return true;
+    case MutatorOp::Kind::kCreate: {
+      if (op.a == op.b || ids_.knows(op.a)) {
+        return false;
+      }
+      // Registrations never check the (remote) creator: every process in
+      // the trace exists at its site, so a transfer can never reach an
+      // unregistered recipient. A newborn whose creator is already dead
+      // is plain garbage the sweeps must collect.
+      register_process(op.a, /*is_root=*/false);
+      logkeeping_.on_send_own_ref(process(op.a), op.b);
+      send_ref_transfer(op.b, op.a);
+      return true;
+    }
+    case MutatorOp::Kind::kLinkOwn:
+      if (op.a == op.b || !local_live(op.a)) {
+        return false;
+      }
+      logkeeping_.on_send_own_ref(process(op.a), op.b);
+      send_ref_transfer(op.b, op.a);
+      return true;
+    case MutatorOp::Kind::kLinkThird:
+      if (op.recipient() == op.subject() || !local_live(op.forwarder()) ||
+          !holds(op.forwarder(), op.subject())) {
+        return false;
+      }
+      logkeeping_.on_send_third_party_ref(process(op.forwarder()),
+                                          op.subject(), op.recipient());
+      send_ref_transfer(op.recipient(), op.subject());
+      return true;
+    case MutatorOp::Kind::kDrop: {
+      if (!local_live(op.a) || !holds(op.a, op.b)) {
+        return false;
+      }
+      held_[op.a].erase(op.b);
+      GgdMessage msg = logkeeping_.on_drop_ref(process(op.a), op.b);
+      pending_destructions_[{op.a, op.b}] = msg;
+      deliver_ggd(std::move(msg));
+      return true;
+    }
+    case MutatorOp::Kind::kMigrate:
+      CGC_CHECK_MSG(false, "threaded mode does not support migration ops");
+      return false;
+  }
+  return false;
+}
+
+void SiteNode::send_ref_transfer(ProcessId recipient, ProcessId subject) {
+  wire::RefTransfer transfer;
+  transfer.transfer_id = (site_.value() << 40) | ++transfer_counter_;
+  transfer.recipient = recipient;
+  transfer.subject = subject;
+  sender_(placement_.site_for(recipient),
+          wire::WireMessage{MessageKind::kReferencePass, transfer});
+}
+
+void SiteNode::deliver_ggd(GgdMessage msg) {
+  const MessageKind kind =
+      (msg.inquiry || msg.reply) ? MessageKind::kGgdInquiry
+      : msg.is_destruction()     ? MessageKind::kGgdDestruction
+                                 : MessageKind::kGgdVector;
+  const SiteId to = placement_.site_for(msg.to);
+  sender_(to, wire::WireMessage{kind, wire::GgdControl{std::move(msg)}});
+}
+
+void SiteNode::dispatch_all(std::vector<GgdMessage> msgs) {
+  for (auto& m : msgs) {
+    deliver_ggd(std::move(m));
+  }
+}
+
+void SiteNode::flush(ProcessId p) {
+  GgdProcess& proc = process(p);
+  if (proc.forward_pending()) {
+    dispatch_all(proc.take_forwards());
+  }
+}
+
+void SiteNode::deliver_packet(const std::vector<std::uint8_t>& bytes) {
+  ++clock_;
+  wire::Decoder dec(bytes);
+  const SiteId from = dec.site_id();
+  (void)from;
+  const SiteId to = dec.site_id();
+  const std::uint64_t count = dec.varint();
+  CGC_CHECK_MSG(dec.ok(), "malformed packet header");
+  CGC_CHECK_MSG(to == site_, "packet delivered to wrong site");
+  if (stats_ != nullptr) {
+    stats_->on_packet_deliver(bytes.size());
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::size_t before = dec.consumed();
+    std::optional<wire::WireMessage> msg = wire::decode_message(dec);
+    CGC_CHECK_MSG(msg.has_value(), "malformed message in packet");
+    if (stats_ != nullptr) {
+      stats_->on_deliver(msg->kind, dec.consumed() - before);
+    }
+    if (const auto* transfer = std::get_if<wire::RefTransfer>(&msg->body)) {
+      on_ref_transfer(*transfer);
+    } else if (const auto* control =
+                   std::get_if<wire::GgdControl>(&msg->body)) {
+      on_ggd_message(control->msg);
+    } else {
+      CGC_CHECK_MSG(false, "unexpected wire body at a threaded GGD site");
+    }
+  }
+  CGC_CHECK_MSG(dec.done(), "trailing bytes after last message");
+}
+
+void SiteNode::on_ref_transfer(const wire::RefTransfer& transfer) {
+  if (!applied_transfers_.insert(transfer.transfer_id)) {
+    return;  // duplicated delivery: the transfer applied once
+  }
+  // A re-granted reference obsoletes any still-undelivered destruction of
+  // the previous edge, exactly as in the engine — and both live at the
+  // recipient's site, so the per-site split keeps this path intact.
+  pending_destructions_.erase({transfer.recipient, transfer.subject});
+  held_[transfer.recipient].insert(transfer.subject);
+  logkeeping_.on_receive_ref(process(transfer.recipient), transfer.subject);
+  if (on_ref_delivered_) {
+    on_ref_delivered_(transfer.recipient, transfer.subject);
+  }
+}
+
+void SiteNode::on_ggd_message(const GgdMessage& msg) {
+  if (msg.is_destruction()) {
+    // Only meaningful when the dropper is hosted here too (a co-located
+    // destruction); a remote dropper keeps its obligation — see header.
+    pending_destructions_.erase({msg.from, msg.to});
+  }
+  GgdProcess& target = process(msg.to);
+  if (msg.inquiry) {
+    if (!target.removed()) {
+      target.absorb_edge_facts(msg.behalf, msg.from);
+    }
+    if (target.removed()) {
+      deliver_ggd(target.make_destruction_message(msg.from));
+    } else {
+      deliver_ggd(target.make_reply(msg.from));
+    }
+    return;
+  }
+  if (target.removed()) {
+    return;
+  }
+  std::vector<GgdMessage> out = target.receive(msg, is_root_fn_, clock_);
+  if (target.removed()) {
+    note_removed(msg.to);
+  }
+  dispatch_all(std::move(out));
+  flush(msg.to);
+}
+
+void SiteNode::note_removed(ProcessId p) {
+  removed_.push_back(p);
+  if (on_removed_) {
+    on_removed_(p);
+  }
+}
+
+void SiteNode::sweep() {
+  ++clock_;
+  std::vector<GgdMessage> reemit;
+  for (auto it = pending_destructions_.begin();
+       it != pending_destructions_.end();) {
+    const ProcessId target = it->first.second;
+    const std::uint32_t idx = ids_.index_of(target);
+    if (idx != IdInterner<ProcessId>::kNone && procs_[idx].removed()) {
+      it = pending_destructions_.erase(it);
+    } else {
+      reemit.push_back(it->second);
+      ++it;
+    }
+  }
+  dispatch_all(std::move(reemit));
+  for (ProcessId id : proc_order_) {
+    GgdProcess& proc = procs_[ids_.index_of(id)];
+    if (proc.removed() || proc.is_root()) {
+      continue;
+    }
+    proc.reset_inquiry_gates();
+    std::vector<GgdMessage> out =
+        proc.decide(is_root_fn_, /*allow_inquiry=*/true, clock_);
+    if (proc.removed()) {
+      note_removed(id);
+    }
+    dispatch_all(std::move(out));
+    flush(id);
+  }
+}
+
+}  // namespace cgc::runtime_mt

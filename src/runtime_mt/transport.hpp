@@ -1,0 +1,169 @@
+// The one thing threaded sites share: mailbox queues, the global delivery
+// sequence, the in-flight envelope count, and the fault knobs.
+//
+// Everything here is either an MpscQueue (lock-free), an atomic, or
+// immutable after construction. The driver's quiescence detection is the
+// in-flight counter: it is incremented BEFORE an envelope becomes
+// poppable and decremented (release) only after the consumer finished
+// processing it — including any envelopes that processing enqueued, whose
+// increments land first. A zero read with acquire therefore means "no
+// envelope exists and none is being processed", and everything the
+// workers wrote before their decrements is visible to the driver.
+//
+// Fault injection is sender-side (each worker rolls its own Rng and
+// records the fate before enqueueing), so the transport only stores the
+// rates — atomically, because the driver heals the network (rates → 0)
+// while workers are still sending.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/dense_map.hpp"
+#include "common/types.hpp"
+#include "runtime_mt/mpsc_queue.hpp"
+#include "wire/batching.hpp"
+
+namespace cgc::runtime_mt {
+
+/// One unit of work in a site's mailbox. Mutator ops and sweep commands
+/// travel the same mailboxes as wire packets, so the global dequeue
+/// sequence totals ALL inputs — which is what makes the recorded schedule
+/// replayable as one linear history.
+struct Envelope {
+  enum class Kind : std::uint8_t {
+    kOp,      // ops[op_index] routed to the actor's site
+    kPacket,  // serialized wire packet (bytes shared across dup copies)
+    kSweep,   // one periodic-sweep round at this site
+    kStop,    // worker shutdown sentinel
+  };
+  Kind kind = Kind::kStop;
+  std::uint32_t op_index = 0;
+  std::uint64_t packet_id = 0;
+  std::shared_ptr<const std::vector<std::uint8_t>> bytes;
+};
+
+class ThreadedTransport {
+ public:
+  explicit ThreadedTransport(std::uint64_t num_sites) {
+    queues_.reserve(num_sites);
+    for (std::uint64_t s = 0; s < num_sites; ++s) {
+      queues_.push_back(std::make_unique<MpscQueue<Envelope>>());
+    }
+  }
+
+  void set_fault_rates(double drop, double dup, double reorder) {
+    drop_.store(drop, std::memory_order_relaxed);
+    dup_.store(dup, std::memory_order_relaxed);
+    reorder_.store(reorder, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double drop_rate() const {
+    return drop_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double duplicate_rate() const {
+    return dup_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double reorder_rate() const {
+    return reorder_.load(std::memory_order_relaxed);
+  }
+
+  /// Counts an envelope as in flight. Call BEFORE push (or before parking
+  /// the envelope in a reorder pocket) so the counter can never dip to
+  /// zero while work exists.
+  void add_inflight() { in_flight_.fetch_add(1, std::memory_order_relaxed); }
+  /// The consumer finished processing one envelope (all increments for
+  /// envelopes it produced have already landed).
+  void sub_inflight() { in_flight_.fetch_sub(1, std::memory_order_release); }
+  [[nodiscard]] bool quiescent() const {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  }
+
+  /// Enqueue an already-counted envelope.
+  void push(SiteId to, Envelope env) {
+    queue(to).push(std::move(env));
+  }
+  /// Count + enqueue (the driver's injection path).
+  void push_counted(SiteId to, Envelope env) {
+    add_inflight();
+    push(to, std::move(env));
+  }
+  [[nodiscard]] MpscQueue<Envelope>& queue(SiteId site) {
+    CGC_CHECK(site.value() < queues_.size());
+    return *queues_[site.value()];
+  }
+
+  /// Stamps one global dequeue: the total delivery order of the run.
+  [[nodiscard]] std::uint64_t stamp() {
+    return seq_.fetch_add(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t stamped() const {
+    return seq_.load(std::memory_order_relaxed);
+  }
+
+  /// Watchdog trip: workers drain and discard instead of processing, so a
+  /// runaway run still quiesces and joins.
+  void abort() { aborted_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool aborted() const {
+    return aborted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<std::unique_ptr<MpscQueue<Envelope>>> queues_;
+  std::atomic<std::int64_t> in_flight_{0};
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<double> drop_{0.0};
+  std::atomic<double> dup_{0.0};
+  std::atomic<double> reorder_{0.0};
+  std::atomic<bool> aborted_{false};
+};
+
+/// Groups one input's outbound messages into per-destination packets,
+/// first-seen destination order — the same coalescing for the live worker
+/// and for the replay, so regenerated packets are byte-identical. This is
+/// the BatchingChannel's per-tick policy with "tick" = one consumed input.
+class PacketAssembler {
+ public:
+  explicit PacketAssembler(SiteId from) : from_(from) {}
+
+  /// Encodes `msg` into the destination's pending packet; returns its
+  /// framed size (the per-kind byte accounting).
+  std::size_t add(SiteId to, const wire::WireMessage& msg) {
+    wire::BatchingChannel* ch = channels_.find(to);
+    if (ch == nullptr) {
+      ch = channels_.emplace(to, wire::BatchingChannel(from_, to)).first;
+    }
+    if (ch->empty()) {
+      order_.push_back(to);
+    }
+    return ch->push(msg);
+  }
+
+  struct Packet {
+    SiteId to;
+    std::vector<std::uint8_t> bytes;
+    std::vector<MessageKind> kinds;
+  };
+
+  /// Flushes every pending destination, in first-seen order.
+  [[nodiscard]] std::vector<Packet> take() {
+    std::vector<Packet> out;
+    out.reserve(order_.size());
+    for (SiteId to : order_) {
+      wire::BatchingChannel::Packet p = channels_.find(to)->flush();
+      out.push_back(Packet{to, std::move(p.bytes), std::move(p.kinds)});
+    }
+    order_.clear();
+    return out;
+  }
+
+ private:
+  SiteId from_;
+  std::vector<SiteId> order_;
+  DenseMap<SiteId, wire::BatchingChannel> channels_;
+};
+
+}  // namespace cgc::runtime_mt

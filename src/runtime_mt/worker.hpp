@@ -1,0 +1,90 @@
+// One site's worker thread: drain the mailbox, feed the SiteNode, ship
+// what it emits.
+//
+// The worker is the only thread that touches its SiteNode, its stats, its
+// Rng, and its input log — everything mutable is thread-confined, and the
+// cross-thread surface is exactly the transport (lock-free queues +
+// atomics) and the trace recorder (mutex-guarded appends). That split is
+// what makes the runtime TSan-clean without sprinkling locks through the
+// protocol code.
+//
+// Fault injection happens here, on the send side: each outbound packet's
+// fate (drop / duplicate / reorder) is rolled once on the worker's own
+// Rng and recorded into the trace before the envelope is enqueued, so the
+// replay never re-rolls — it reads fates from the recording. Reordering
+// is a one-slot pocket: a chosen packet is parked and only released after
+// a later send (or on idle), which realizes a genuine overtake in the
+// delivery order the consumer stamps.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "logkeeping/lazy_logkeeping.hpp"
+#include "metrics/message_stats.hpp"
+#include "runtime_mt/placement.hpp"
+#include "runtime_mt/site_node.hpp"
+#include "runtime_mt/transport.hpp"
+#include "wire/concurrent_trace.hpp"
+#include "workload/ops.hpp"
+
+namespace cgc::runtime_mt {
+
+/// One consumed input, stamped with its global dequeue sequence. The
+/// per-worker logs, merged and sorted by `seq`, are the total order the
+/// deterministic replay re-executes.
+struct InputRecord {
+  std::uint64_t seq = 0;
+  SiteId site;  // the consuming site — the replay's dispatch key
+  Envelope::Kind kind = Envelope::Kind::kStop;
+  std::uint32_t op_index = 0;    // kOp
+  std::uint64_t packet_id = 0;   // kPacket: index into the recorded trace
+  bool applied = false;          // kOp: site-local precondition verdict
+};
+
+class SiteWorker {
+ public:
+  SiteWorker(SiteId site, const Placement& placement, LogKeepingMode mode,
+             ThreadedTransport& transport, wire::ConcurrentTraceRecorder& rec,
+             const std::vector<MutatorOp>& ops, std::uint64_t rng_seed);
+
+  /// Thread body: runs until the kStop sentinel.
+  void run();
+
+  // -- Post-join reads -----------------------------------------------------
+  [[nodiscard]] const SiteNode& node() const { return node_; }
+  [[nodiscard]] const std::vector<InputRecord>& log() const { return log_; }
+  [[nodiscard]] const MessageStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t envelopes_processed() const {
+    return processed_;
+  }
+
+ private:
+  void process(const Envelope& env, std::uint64_t seq);
+  /// Ships everything the node emitted for the input just consumed.
+  void ship_outbound();
+  void send_packet(PacketAssembler::Packet&& pkt);
+  void flush_pocket();
+
+  SiteId site_;
+  ThreadedTransport& transport_;
+  wire::ConcurrentTraceRecorder& recorder_;
+  const std::vector<MutatorOp>& ops_;
+  MessageStats stats_;
+  SiteNode node_;
+  PacketAssembler assembler_;
+  Rng rng_;
+  std::vector<InputRecord> log_;
+  /// The reorder pocket: one parked, already-counted envelope.
+  struct Parked {
+    SiteId to;
+    Envelope env;
+  };
+  std::optional<Parked> pocket_;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace cgc::runtime_mt

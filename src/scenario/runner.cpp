@@ -425,4 +425,26 @@ ConformanceReport run_conformance(const ScenarioSpec& spec,
   return report;
 }
 
+std::string ThreadedConformanceReport::summary() const {
+  std::string out;
+  for (const std::string& f : run.failures) {
+    out += "live: " + f + "\n";
+  }
+  for (const std::string& f : replay.failures) {
+    out += "replay: " + f + "\n";
+  }
+  return out;
+}
+
+ThreadedConformanceReport run_threaded_conformance(
+    const ScenarioSpec& spec, const std::vector<MutatorOp>& ops,
+    const runtime_mt::ThreadedConfig& cfg) {
+  ThreadedConformanceReport report;
+  report.spec = spec;
+  report.config = cfg;
+  report.run = runtime_mt::run_threaded(spec, ops, cfg);
+  report.replay = runtime_mt::replay_threaded(ops, report.run);
+  return report;
+}
+
 }  // namespace cgc

@@ -45,6 +45,7 @@
 
 #include "metrics/message_stats.hpp"
 #include "obs/metrics.hpp"
+#include "runtime_mt/harness.hpp"
 #include "scenario/spec.hpp"
 
 namespace cgc {
@@ -106,5 +107,25 @@ struct ConformanceReport {
 /// spec's fault profile and adjudicates the verdicts above.
 [[nodiscard]] ConformanceReport run_conformance(
     const ScenarioSpec& spec, const std::vector<MutatorOp>& ops);
+
+/// Threaded-mode conformance: one live run under real scheduler
+/// nondeterminism, recorded, then re-executed deterministically and
+/// adjudicated (byte conformance + oracle safety/completeness — see
+/// runtime_mt/harness.hpp for the exact checks).
+struct ThreadedConformanceReport {
+  ScenarioSpec spec;
+  runtime_mt::ThreadedConfig config;
+  runtime_mt::ThreadedRun run;
+  runtime_mt::ReplayVerdict replay;
+
+  [[nodiscard]] bool ok() const { return run.ok() && replay.ok(); }
+  /// Every failure, one per line, prefixed with the phase it came from —
+  /// what a failing stress seed prints before dumping the trace.
+  [[nodiscard]] std::string summary() const;
+};
+
+[[nodiscard]] ThreadedConformanceReport run_threaded_conformance(
+    const ScenarioSpec& spec, const std::vector<MutatorOp>& ops,
+    const runtime_mt::ThreadedConfig& cfg = {});
 
 }  // namespace cgc

@@ -1,0 +1,21 @@
+#include "wire/concurrent_trace.hpp"
+
+namespace cgc::wire {
+
+WireTrace ConcurrentTraceRecorder::finalize() const {
+  WireTrace trace;
+  std::uint64_t index = 0;
+  for (const SentPacket& p : sent_) {
+    PacketRecord rec;
+    rec.sent_at = index++;
+    rec.from = p.from;
+    rec.to = p.to;
+    rec.bytes = *p.bytes;
+    rec.dropped = p.dropped;
+    rec.delivered_at.assign(p.delivered_seq.begin(), p.delivered_seq.end());
+    trace.record(std::move(rec));
+  }
+  return trace;
+}
+
+}  // namespace cgc::wire

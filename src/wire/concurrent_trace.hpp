@@ -1,0 +1,78 @@
+// Wire-trace capture from concurrent producers.
+//
+// The single-threaded `WireTrace` is filled by one Network on one thread;
+// the threaded runtime has N worker threads sending packets concurrently,
+// and what makes its run replayable is a TOTAL delivery order: every
+// envelope a site dequeues is stamped with a global sequence number at the
+// moment of processing. This recorder collects the two halves —
+// send records (bytes, endpoints, transport fate) from whichever thread
+// sent the packet, and per-copy delivery stamps from whichever thread
+// consumed it — and folds them into an ordinary `WireTrace` whose
+// `sent_at` is the send linearisation index and whose `delivered_at`
+// entries are the global dequeue sequence numbers.
+//
+// Thread-safe by one mutex; strictly passive (recording must not perturb
+// what the workers do, only observe it) and touched once per packet, not
+// per message, so the serialisation window is short. After the workers are
+// joined, `finalize()` and `sent()` are plain single-threaded reads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/types.hpp"
+#include "wire/trace.hpp"
+
+namespace cgc::wire {
+
+class ConcurrentTraceRecorder {
+ public:
+  struct SentPacket {
+    SiteId from;
+    SiteId to;
+    /// Shared with every in-flight envelope copy of this packet: the bytes
+    /// are immutable from the moment of sending, so concurrent readers
+    /// need no further synchronisation.
+    std::shared_ptr<const std::vector<std::uint8_t>> bytes;
+    bool dropped = false;
+    /// Global dequeue sequence of each delivered copy (two entries when
+    /// the packet was duplicated), in the order the copies were consumed.
+    std::vector<std::uint64_t> delivered_seq;
+  };
+
+  /// Any thread. Returns the packet id (index into `sent()`), which the
+  /// sender attaches to every enqueued envelope copy.
+  std::uint64_t record_send(SiteId from, SiteId to,
+                            std::shared_ptr<const std::vector<std::uint8_t>>
+                                bytes,
+                            bool dropped) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sent_.push_back(SentPacket{from, to, std::move(bytes), dropped, {}});
+    return sent_.size() - 1;
+  }
+
+  /// Any thread: the consumer stamps the copy it just dequeued with the
+  /// global sequence number of that dequeue.
+  void record_delivery(std::uint64_t packet_id, std::uint64_t seq) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sent_[packet_id].delivered_seq.push_back(seq);
+  }
+
+  /// Post-join (single-threaded): every send record, in linearisation
+  /// order (one mutex means per-thread program order is preserved).
+  [[nodiscard]] const std::vector<SentPacket>& sent() const { return sent_; }
+
+  /// Post-join: folds the capture into an ordinary WireTrace — the
+  /// artifact a failing conformance run dumps for offline minimizing.
+  /// `sent_at` carries the send index and `delivered_at` the global
+  /// dequeue sequences, so the packet hash pins both orders.
+  [[nodiscard]] WireTrace finalize() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SentPacket> sent_;
+};
+
+}  // namespace cgc::wire

@@ -1,0 +1,151 @@
+// MpscQueue property tests: the lock-free mailbox under real contention.
+//
+// The queue's contract is exactly what the threaded runtime leans on:
+//   * per-producer FIFO (a producer's pushes dequeue in push order),
+//   * no loss and no duplication under multi-producer contention,
+//   * sequentially it behaves exactly like a deque (differential check).
+// Cross-producer causality (a push that completed before another began
+// dequeues first) is exercised implicitly by the conformance tier — the
+// registration-before-transfer ordering depends on it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "runtime_mt/mpsc_queue.hpp"
+
+namespace cgc::runtime_mt {
+namespace {
+
+// Values encode (producer, sequence) so the consumer can check both FIFO
+// and completeness from the dequeued stream alone.
+constexpr std::uint64_t make_value(std::uint64_t producer, std::uint64_t i) {
+  return (producer << 32) | i;
+}
+
+TEST(MpscQueue, MultiProducerFifoNoLossNoDup) {
+  constexpr std::uint64_t kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 20'000;
+  MpscQueue<std::uint64_t> q;
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::uint64_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        q.push(make_value(p, i));
+      }
+    });
+  }
+
+  // Consume on this thread while the producers hammer the queue.
+  std::vector<std::uint64_t> next_expected(kProducers, 0);
+  std::uint64_t total = 0;
+  while (total < kProducers * kPerProducer) {
+    std::optional<std::uint64_t> v = q.try_pop();
+    if (!v.has_value()) {
+      std::this_thread::yield();
+      continue;
+    }
+    const std::uint64_t producer = *v >> 32;
+    const std::uint64_t i = *v & 0xffffffffULL;
+    ASSERT_LT(producer, kProducers);
+    // FIFO per producer — and because each producer's sequence is dense,
+    // matching the running counter also proves no loss and no dup.
+    ASSERT_EQ(i, next_expected[producer])
+        << "producer " << producer << " value out of order";
+    ++next_expected[producer];
+    ++total;
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  EXPECT_EQ(q.try_pop(), std::nullopt) << "queue should be drained";
+  for (std::uint64_t p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(next_expected[p], kPerProducer);
+  }
+}
+
+// Sequential differential check against the obvious reference structure:
+// a random interleaving of pushes and pops must observe exactly what a
+// deque observes, including emptiness.
+TEST(MpscQueue, SequentialDifferentialVsDeque) {
+  MpscQueue<std::uint64_t> q;
+  std::deque<std::uint64_t> ref;
+  Rng rng(0xfeedULL);
+  for (std::uint64_t step = 0; step < 100'000; ++step) {
+    if (rng.chance(0.55)) {
+      const std::uint64_t v = rng.next();
+      q.push(v);
+      ref.push_back(v);
+    } else {
+      std::optional<std::uint64_t> got = q.try_pop();
+      if (ref.empty()) {
+        EXPECT_EQ(got, std::nullopt);
+      } else {
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(*got, ref.front());
+        ref.pop_front();
+      }
+    }
+  }
+  while (!ref.empty()) {
+    std::optional<std::uint64_t> got = q.try_pop();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, ref.front());
+    ref.pop_front();
+  }
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+}
+
+// Contended differential: producers also log what they pushed into a
+// mutex-guarded reference; after the join, the dequeued multiset must
+// equal the union of the per-producer logs (order checked per producer by
+// the FIFO test above — here the point is exact content equality).
+TEST(MpscQueue, ContendedContentMatchesReference) {
+  constexpr std::uint64_t kProducers = 3;
+  constexpr std::uint64_t kPerProducer = 10'000;
+  MpscQueue<std::uint64_t> q;
+  std::mutex mu;
+  std::vector<std::uint64_t> pushed;
+
+  std::vector<std::thread> producers;
+  for (std::uint64_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      Rng rng(p ^ 0xabcdULL);
+      std::vector<std::uint64_t> local;
+      local.reserve(kPerProducer);
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t v = make_value(p, rng.next() >> 32);
+        q.push(v);
+        local.push_back(v);
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      pushed.insert(pushed.end(), local.begin(), local.end());
+    });
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  std::vector<std::uint64_t> popped;
+  popped.reserve(kProducers * kPerProducer);
+  for (;;) {
+    std::optional<std::uint64_t> v = q.try_pop();
+    if (!v.has_value()) {
+      break;
+    }
+    popped.push_back(*v);
+  }
+  std::sort(pushed.begin(), pushed.end());
+  std::sort(popped.begin(), popped.end());
+  EXPECT_EQ(popped, pushed);
+}
+
+}  // namespace
+}  // namespace cgc::runtime_mt
