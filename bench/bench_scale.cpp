@@ -65,6 +65,11 @@ struct ScaleResult {
   std::uint64_t reclaimed = 0;
   std::uint64_t wire_bytes = 0;
   double bytes_per_reclaimed = 0;
+  /// GGD control traffic only (vectors, destructions, inquiries) — the
+  /// delta row-relay's target. `wire_bytes` also counts reference passes
+  /// and migration snapshots, which the relay policy cannot touch.
+  std::uint64_t control_bytes = 0;
+  double control_bytes_per_reclaimed = 0;
   std::uint64_t packets = 0;
   std::uint64_t log_entries = 0;
   std::optional<std::uint64_t> peak_rss_kb;
@@ -106,7 +111,8 @@ std::optional<std::uint64_t> peak_rss_kb() {
 /// churn keeps creating short-lived structures (including cycles) and
 /// severing them, so the engine collects continuously while the
 /// population stays near the target.
-ScaleResult run_scale(const ScaleConfig& cfg) {
+ScaleResult run_scale(const ScaleConfig& cfg,
+                      RelayPolicy policy = RelayPolicy::kDelta) {
   Simulator sim;
   Network net(sim, NetworkConfig{.min_latency = 1,
                                  .max_latency = 3,
@@ -115,6 +121,7 @@ ScaleResult run_scale(const ScaleConfig& cfg) {
                                  .seed = 12345});
   obs::Registry reg;  // outlives the engine, which caches pointers
   GgdEngine eng(net);
+  eng.set_relay_policy(policy);
   eng.attach_obs(&reg, nullptr);
   Rng rng(cfg.processes ^ (cfg.sites << 20));
 
@@ -315,6 +322,12 @@ ScaleResult run_scale(const ScaleConfig& cfg) {
           ? static_cast<double>(res.wire_bytes) /
                 static_cast<double>(res.reclaimed)
           : 0;
+  res.control_bytes = net.stats().control_bytes_sent();
+  res.control_bytes_per_reclaimed =
+      res.reclaimed > 0
+          ? static_cast<double>(res.control_bytes) /
+                static_cast<double>(res.reclaimed)
+          : 0;
   res.packets = net.stats().packets().sent;
   res.log_entries = eng.total_log_entries();
   res.peak_rss_kb = peak_rss_kb();
@@ -349,6 +362,10 @@ ThreadedBenchResult run_threaded_bench(std::uint64_t threads,
   const std::vector<MutatorOp> ops = generate_trace(spec);
   runtime_mt::ThreadedConfig cfg;
   cfg.num_threads = threads;
+  // Per-envelope cost grows with the live population (dependency-vector
+  // merges are O(population)), so a 1k-op trace is minutes of work on a
+  // one-core CI box — give each quiescence wait generous headroom.
+  cfg.watchdog_ms = 300'000;
   const auto start = std::chrono::steady_clock::now();
   const runtime_mt::ThreadedRun run = runtime_mt::run_threaded(spec, ops, cfg);
   const auto end = std::chrono::steady_clock::now();
@@ -400,6 +417,10 @@ void emit(const std::string& path, const std::vector<ScaleResult>& results,
     json.value(r.wire_bytes);
     json.key("bytes_per_reclaimed");
     json.value(static_cast<std::uint64_t>(r.bytes_per_reclaimed));
+    json.key("control_bytes");
+    json.value(r.control_bytes);
+    json.key("control_bytes_per_reclaimed");
+    json.value(static_cast<std::uint64_t>(r.control_bytes_per_reclaimed));
     json.key("packets");
     json.value(r.packets);
     json.key("log_entries");
@@ -455,10 +476,16 @@ void emit(const std::string& path, const std::vector<ScaleResult>& results,
 int main(int argc, char** argv) {
   using namespace cgc;
   bool quick = false;
+  // A/B switch for the delta row-relay: `--wholemap` re-runs the ladder
+  // with the legacy full-map relaying so the control-byte win (and any
+  // future regression of it) can be measured head-to-head on demand.
+  RelayPolicy policy = RelayPolicy::kDelta;
   std::uint64_t threads = 4;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--wholemap") == 0) {
+      policy = RelayPolicy::kWholeMap;
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr,
                                                          10));
@@ -481,10 +508,14 @@ int main(int argc, char** argv) {
     configs.push_back({"large", 256, 512, 20'000, 60'000});
   }
 
-  std::cout << "scale tier: dense-core engine under sustained churn\n";
+  std::cout << "scale tier: dense-core engine under sustained churn";
+  if (policy == RelayPolicy::kWholeMap) {
+    std::cout << " (LEGACY whole-map relay)";
+  }
+  std::cout << '\n';
   std::vector<ScaleResult> results;
   for (const ScaleConfig& cfg : configs) {
-    ScaleResult r = run_scale(cfg);
+    ScaleResult r = run_scale(cfg, policy);
     std::cout << cfg.name << ": sites=" << cfg.sites
               << " procs=" << cfg.processes << " churn=" << cfg.churn_ops
               << " | events=" << r.events << " wall_ms="
@@ -492,6 +523,8 @@ int main(int argc, char** argv) {
               << " events/s=" << static_cast<std::uint64_t>(r.events_per_sec)
               << " reclaimed=" << r.reclaimed << " bytes/reclaimed="
               << static_cast<std::uint64_t>(r.bytes_per_reclaimed)
+              << " ctrl_bytes/reclaimed="
+              << static_cast<std::uint64_t>(r.control_bytes_per_reclaimed)
               << " latency_p99=" << r.latency.percentile(99)
               << " sweep_pause_p99=" << r.sweep_pause.percentile(99);
     if (r.peak_rss_kb.has_value()) {
@@ -507,12 +540,12 @@ int main(int argc, char** argv) {
   }
   // The threaded slice runs on BOTH budgets: CI's --quick path is what
   // feeds the committed BENCH_scale.json, and the field guard expects
-  // threaded_events_per_sec there. Workload sizes are modest on purpose:
-  // the threaded runtime flushes immediately (no per-tick coalescing), so
-  // per-envelope cost grows with population — the number tracks mailbox
-  // machinery overhead, not big-graph vector math.
-  const ThreadedBenchResult threaded =
-      run_threaded_bench(threads, quick ? 250 : 500);
+  // threaded_events_per_sec there. Workers coalesce outbound flushes
+  // behind a byte/op budget (ThreadedConfig::coalesce_*), which makes a
+  // 1k-op workload affordable here. Don't push past ~1k: per-envelope
+  // cost scales with the live population, so 2k ops is not 2x but >10x
+  // the wall clock and blows any sane watchdog on a one-core runner.
+  const ThreadedBenchResult threaded = run_threaded_bench(threads, 1'000);
   std::cout << "threaded: threads=" << threaded.threads
             << " ops=" << threaded.ops << " envelopes=" << threaded.envelopes
             << " wall_ms=" << static_cast<std::uint64_t>(threaded.wall_ms)

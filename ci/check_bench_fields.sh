@@ -27,11 +27,16 @@ for name in BENCH_transport.json BENCH_logkeeping.json \
 done
 
 # The scale tier additionally carries the threaded-runtime throughput
-# number (mailbox envelopes/sec through the worker threads).
-if [ -f "$dir/BENCH_scale.json" ] &&
-   ! grep -q '"threaded_events_per_sec"' "$dir/BENCH_scale.json"; then
-  echo "MISSING FIELD: BENCH_scale.json lacks \"threaded_events_per_sec\"" >&2
-  status=1
+# number (mailbox envelopes/sec through the worker threads) and the
+# delta-relay cost curve (GGD control bytes per reclaimed process —
+# the number the per-peer sync state exists to flatten).
+if [ -f "$dir/BENCH_scale.json" ]; then
+  for field in threaded_events_per_sec control_bytes_per_reclaimed; do
+    if ! grep -q "\"$field\"" "$dir/BENCH_scale.json"; then
+      echo "MISSING FIELD: BENCH_scale.json lacks \"$field\"" >&2
+      status=1
+    fi
+  done
 fi
 
 if [ "$status" -ne 0 ]; then

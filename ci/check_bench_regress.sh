@@ -1,0 +1,95 @@
+#!/usr/bin/env sh
+# Guard: the scale-tier bench must not silently regress. Compares the
+# freshly produced build/BENCH_scale.json against the committed baseline
+# (bench/baseline/BENCH_scale.json) and fails when any shared config
+# regresses by more than 15% on either axis the perf trajectory tracks:
+#
+#   * events_per_sec            (throughput  — fresh must be >= 85% of base)
+#   * bytes_per_reclaimed       (wire cost   — fresh must be <= 115% of base)
+#   * control_bytes_per_reclaimed (GGD control cost — same 115% ceiling)
+#
+# plus the threaded runtime's threaded_events_per_sec (>= 85% of base).
+#
+# Byte-per-reclaimed ratios are deterministic for a given seed, so the
+# 15% margin there is pure headroom for protocol drift. Throughput is
+# wall-clock and machine-dependent; the margin absorbs runner jitter,
+# and the baseline is refreshed (deliberately, in-diff) whenever the
+# bench shape changes.
+#
+# Usage: check_bench_regress.sh <fresh-dir> [baseline-dir]
+set -u
+
+fresh_dir="${1:-build}"
+base_dir="${2:-bench/baseline}"
+
+fresh="$fresh_dir/BENCH_scale.json"
+base="$base_dir/BENCH_scale.json"
+
+for f in "$fresh" "$base"; do
+  if [ ! -f "$f" ]; then
+    echo "MISSING FILE: $f" >&2
+    echo "bench regress guard FAILED" >&2
+    exit 1
+  fi
+done
+
+python3 - "$fresh" "$base" <<'EOF'
+import json
+import sys
+
+fresh = json.load(open(sys.argv[1]))
+base = json.load(open(sys.argv[2]))
+
+THROUGHPUT_FLOOR = 0.85  # fresh/base must stay above this
+COST_CEILING = 1.15      # fresh/base must stay below this
+
+failures = []
+compared = 0
+
+
+def check(name, metric, fresh_v, base_v, kind):
+    global compared
+    if base_v is None or fresh_v is None:
+        return
+    if not base_v:
+        return  # zero baseline (e.g. nothing reclaimed): no ratio to take
+    compared += 1
+    ratio = fresh_v / base_v
+    if kind == "throughput" and ratio < THROUGHPUT_FLOOR:
+        failures.append(
+            f"{name}.{metric}: {fresh_v:.0f} vs baseline {base_v:.0f} "
+            f"({ratio:.2f}x, floor {THROUGHPUT_FLOOR}x)")
+    if kind == "cost" and ratio > COST_CEILING:
+        failures.append(
+            f"{name}.{metric}: {fresh_v:.0f} vs baseline {base_v:.0f} "
+            f"({ratio:.2f}x, ceiling {COST_CEILING}x)")
+
+
+for name, b_cfg in base.get("configs", {}).items():
+    f_cfg = fresh.get("configs", {}).get(name)
+    if f_cfg is None:
+        failures.append(f"config '{name}' present in baseline, missing fresh")
+        continue
+    check(name, "events_per_sec", f_cfg.get("events_per_sec"),
+          b_cfg.get("events_per_sec"), "throughput")
+    check(name, "bytes_per_reclaimed", f_cfg.get("bytes_per_reclaimed"),
+          b_cfg.get("bytes_per_reclaimed"), "cost")
+    check(name, "control_bytes_per_reclaimed",
+          f_cfg.get("control_bytes_per_reclaimed"),
+          b_cfg.get("control_bytes_per_reclaimed"), "cost")
+
+check("threaded", "threaded_events_per_sec",
+      fresh.get("threaded", {}).get("threaded_events_per_sec"),
+      base.get("threaded", {}).get("threaded_events_per_sec"), "throughput")
+
+if not compared:
+    failures.append("no comparable metrics between fresh and baseline")
+
+if failures:
+    for f in failures:
+        print(f"REGRESSION: {f}", file=sys.stderr)
+    print("bench regress guard FAILED", file=sys.stderr)
+    sys.exit(1)
+
+print(f"bench regress guard OK: {compared} metrics within margins")
+EOF

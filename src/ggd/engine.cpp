@@ -16,6 +16,7 @@ GgdProcess& GgdEngine::add_process(ProcessId id, SiteId site, bool is_root) {
   proc_order_.insert(id);
   attach_site(site);
   procs_.back().set_observed(obs_attached_);
+  procs_.back().set_relay_policy(relay_policy_);
   return procs_.back();
 }
 
@@ -375,6 +376,10 @@ void GgdEngine::on_ggd_message(const GgdMessage& msg) {
     // The hosting site answers inquiries; a collected target is answered
     // posthumously with its death certificate.
     ++participating_sites_[site_of(msg.to)];
+    // Inquiries are answered without running receive() at the target, so
+    // their piggybacked frontier acks must be applied here or the
+    // inquirer would be treated as permanently lagged.
+    target.apply_row_acks(msg);
     if (!target.removed()) {
       // The inquiry's piggybacked behalf row delivers any deferred grants
       // the inquirer holds for this target: the target adjudicates them
@@ -514,6 +519,7 @@ void GgdEngine::periodic_sweep() {
     }
     ++scanned;
     proc.reset_inquiry_gates();
+    proc.sync_sweep_round();
     const bool was_removed = proc.removed();
     std::vector<GgdMessage> out =
         proc.decide([this](ProcessId p) { return root_flag(p); },

@@ -66,6 +66,17 @@ class GgdEngine : public wire::Mailbox {
   }
   [[nodiscard]] std::size_t process_count() const { return procs_.size(); }
 
+  /// Sets the row-relay policy for every registered process (and every
+  /// process added later). kDelta is the default; kWholeMap reproduces
+  /// the pre-delta wire behaviour for differential conformance.
+  void set_relay_policy(RelayPolicy policy) {
+    relay_policy_ = policy;
+    for (GgdProcess& p : procs_) {
+      p.set_relay_policy(policy);
+    }
+  }
+  [[nodiscard]] RelayPolicy relay_policy() const { return relay_policy_; }
+
   // -- Mutator-level operations (each also performs lazy log-keeping) ----
 
   /// `creator` allocates a new global root `newborn` on `site`
@@ -331,6 +342,7 @@ class GgdEngine : public wire::Mailbox {
   DetectorMetrics metrics_;
   obs::Journal* journal_ = nullptr;
   bool obs_attached_ = false;
+  RelayPolicy relay_policy_ = RelayPolicy::kDelta;
 
   /// Records the observation of the decision walk `p` just ran (metrics +
   /// journal verdict record). No-op when observability is not attached.

@@ -11,23 +11,31 @@ namespace {
 /// Replace-if-newer merge of a reported self row, versioned by the
 /// subject's own event counter (strictly monotone at the subject). An
 /// older report never clobbers a newer one — duplication and reordering
-/// are harmless (robustness, §5).
-void adopt_row(FlatMap<ProcessId, DependencyVector>& rows, ProcessId subject,
+/// are harmless (robustness, §5). Returns whether the stored copy
+/// actually changed, which is what drives the delta-relay revision stamp:
+/// the subject's counter alone cannot be the version because an
+/// equal-index merge can change content without advancing it.
+bool adopt_row(FlatMap<ProcessId, DependencyVector>& rows, ProcessId subject,
                const DependencyVector& row) {
   auto it = rows.find(subject);
   if (it == rows.end()) {
     rows.emplace(subject, row);
-    return;
+    return true;
   }
   const std::uint64_t stored = it->second.get(subject).index();
   const std::uint64_t incoming = row.get(subject).index();
   if (incoming > stored) {
     it->second = row;
-  } else if (incoming == stored) {
+    return true;
+  }
+  if (incoming == stored) {
     // Same version: merge conservatively (a destruction marker at equal
     // index wins inside Timestamp::merge).
+    const DependencyVector before = it->second;
     it->second.merge(row);
+    return !(it->second == before);
   }
+  return false;
 }
 
 }  // namespace
@@ -36,6 +44,10 @@ std::vector<GgdMessage> GgdProcess::receive(
     const GgdMessage& msg, const std::function<bool(ProcessId)>& is_root,
     SimTime now) {
   CGC_CHECK(msg.to == id_);
+  // Frontier acks apply even to an already-collected receiver: its
+  // posthumous destruction re-emissions still attach rows, and ignoring
+  // the echoes would make every peer look permanently lagged.
+  apply_row_acks(msg);
   if (removed_) {
     // Late or duplicated messages to an already-collected root are ignored;
     // idempotence of removal is part of the robustness claim (§5).
@@ -44,6 +56,10 @@ std::vector<GgdMessage> GgdProcess::receive(
   const ProcessId m = msg.from;
   const Timestamp vm = msg.v.get(m);
   inflight_inquiries_.erase(m);
+  // Ack every row this message shipped — including rows skipped below
+  // (our own, dead subjects): an ack means "stop re-sending", which is
+  // exactly right for a row we will never adopt.
+  record_row_acks(msg);
 
   // Death is a stable global fact and is relayed monotonically. State kept
   // about a collected process will never be consulted again.
@@ -51,6 +67,7 @@ std::vector<GgdMessage> GgdProcess::receive(
     if (q != id_ && dead_.insert(q).second) {
       history_.erase(q);
       known_rows_.erase(q);
+      row_rev_.erase(q);
       known_behalf_.erase(q);
     }
   }
@@ -59,12 +76,16 @@ std::vector<GgdMessage> GgdProcess::receive(
   // re-blocks for ever on an eventless subject. Rows of dead processes are
   // not resurrected.
   if (!dead_.contains(m)) {
-    adopt_row(known_rows_, m, msg.self_row);
+    if (adopt_row(known_rows_, m, msg.self_row)) {
+      bump_rev(m);
+    }
   }
   // Relayed rows (versioned facts, replace-if-newer).
   for (const auto& [q, row] : msg.rows) {
     if (q != id_ && q != m && !dead_.contains(q)) {
-      adopt_row(known_rows_, q, row);
+      if (adopt_row(known_rows_, q, row)) {
+        bump_rev(q);
+      }
     }
   }
 
@@ -221,8 +242,8 @@ std::vector<GgdMessage> GgdProcess::take_forwards() {
     fwd.v = last_v_;
     fwd.self_row = log_.self_row();
     fwd.behalf = log_.row(k);
-    fwd.rows = known_rows_;
     fwd.dead = dead_;
+    attach_sync(fwd, /*include_rows=*/true);
     out.push_back(std::move(fwd));
   }
   return out;
@@ -284,6 +305,7 @@ std::vector<GgdMessage> GgdProcess::decide(
         inq.to = q;
         inq.inquiry = true;
         inq.behalf = log_.row(q);
+        attach_sync(inq, /*include_rows=*/false);
         out.push_back(std::move(inq));
       }
     }
@@ -331,6 +353,7 @@ std::vector<GgdMessage> GgdProcess::decide(
           // and lease-verifies at q) before its reply can certify an
           // all-dead in-edge row.
           inq.behalf = log_.row(q);
+          attach_sync(inq, /*include_rows=*/false);
           out.push_back(std::move(inq));
         }
       }
@@ -360,6 +383,7 @@ std::vector<GgdMessage> GgdProcess::decide(
         inq.to = q;
         inq.inquiry = true;
         inq.behalf = log_.row(q);
+        attach_sync(inq, /*include_rows=*/false);
         out.push_back(std::move(inq));
       }
     }
@@ -386,6 +410,7 @@ std::vector<GgdMessage> GgdProcess::decide(
         inq.to = q;
         inq.inquiry = true;
         inq.behalf = log_.row(q);
+        attach_sync(inq, /*include_rows=*/false);
         out.push_back(std::move(inq));
       }
     }
@@ -408,6 +433,143 @@ void GgdProcess::reset_inquiry_gates() {
   // unreachable verdict across rounds.
   confirm_time_.clear();
   pending_verify_ = false;
+}
+
+void GgdProcess::attach_sync(GgdMessage& msg, bool include_rows) {
+  msg.sync_epoch = sync_epoch_;
+  // Flush the acks accumulated for this destination: they echo ITS
+  // revision stamps under ITS epoch, regardless of what this message
+  // otherwise carries.
+  auto pit = ack_pending_.find(msg.to);
+  if (pit != ack_pending_.end()) {
+    msg.row_acks = std::move(pit->second);
+    ack_pending_.erase(msg.to);
+    auto eit = ack_epoch_pending_.find(msg.to);
+    if (eit != ack_epoch_pending_.end()) {
+      msg.ack_epoch = eit->second;
+      ack_epoch_pending_.erase(msg.to);
+    }
+  }
+  if (!include_rows) {
+    return;
+  }
+  if (relay_policy_ == RelayPolicy::kWholeMap) {
+    msg.rows = known_rows_;
+    for (const auto& [q, row] : known_rows_) {
+      auto rit = row_rev_.find(q);
+      CGC_CHECK(rit != row_rev_.end());
+      msg.row_revs.emplace(q, rit->second);
+    }
+    return;
+  }
+  // Delta selection: ship only rows whose revision is past what this
+  // destination has been sent. The sent frontier advances optimistically
+  // at build time; loss is recovered by the sweep's rollback (sent :=
+  // acked) and missing rows self-heal through the inquiry machinery
+  // anyway — a lost row costs latency, never a verdict.
+  auto& ps = peer_sync_[msg.to];
+  for (const auto& [q, row] : known_rows_) {
+    if (q == msg.to) {
+      continue;  // the receiver ignores a relayed copy of its own row
+    }
+    auto rit = row_rev_.find(q);
+    CGC_CHECK(rit != row_rev_.end());
+    const std::uint64_t rev = rit->second;
+    auto sit = ps.sent.find(q);
+    if (sit != ps.sent.end() && sit->second >= rev) {
+      continue;
+    }
+    msg.rows.emplace(q, row);
+    msg.row_revs.emplace(q, rev);
+    if (sit == ps.sent.end()) {
+      ps.sent.emplace(q, rev);
+    } else {
+      sit->second = rev;
+    }
+  }
+}
+
+void GgdProcess::record_row_acks(const GgdMessage& msg) {
+  if (msg.row_revs.empty() || relay_policy_ == RelayPolicy::kWholeMap) {
+    // Whole-map peers re-ship everything regardless of acks, so echoing
+    // stamps back at them would be pure overhead (and would make the
+    // whole-map baseline pay delta's bookkeeping bytes in comparisons).
+    return;
+  }
+  const ProcessId m = msg.from;
+  auto eit = ack_epoch_pending_.find(m);
+  if (eit == ack_epoch_pending_.end()) {
+    ack_epoch_pending_.emplace(m, msg.sync_epoch);
+  } else if (msg.sync_epoch > eit->second) {
+    // The sender's sync state restarted (migration hand-off): stamps
+    // recorded against its previous epoch would be misread as current.
+    eit->second = msg.sync_epoch;
+    ack_pending_.erase(m);
+  } else if (msg.sync_epoch < eit->second) {
+    // Rows from the pre-restart incarnation, delivered late. Adoption
+    // above still applied (rows are versioned by their subjects); the
+    // stamps, however, belong to a dead epoch — acking them under the
+    // current one would advance frontiers the new incarnation never sent.
+    return;
+  }
+  auto& pending = ack_pending_[m];
+  for (const auto& [q, rev] : msg.row_revs) {
+    auto [it, fresh] = pending.emplace(q, rev);
+    if (!fresh && it->second < rev) {
+      it->second = rev;
+    }
+  }
+}
+
+void GgdProcess::apply_row_acks(const GgdMessage& msg) {
+  if (msg.row_acks.empty() || msg.ack_epoch != sync_epoch_) {
+    // Epoch mismatch: the acks echo stamps from a previous incarnation of
+    // this process's sync state (pre-migration). Dropping them merely
+    // re-ships some rows; honouring them could advance a frontier past
+    // rows this incarnation never sent.
+    return;
+  }
+  auto& ps = peer_sync_[msg.from];
+  for (const auto& [q, rev] : msg.row_acks) {
+    auto [ait, fresh_a] = ps.acked.emplace(q, rev);
+    if (!fresh_a && ait->second < rev) {
+      ait->second = rev;
+    }
+    // An ack implies receipt even if our own optimistic send bookkeeping
+    // was rolled back meanwhile; lifting sent to the acked level avoids
+    // one spurious re-ship.
+    const std::uint64_t acked = ait->second;
+    auto [sit, fresh_s] = ps.sent.emplace(q, acked);
+    if (!fresh_s && sit->second < acked) {
+      sit->second = acked;
+    }
+  }
+}
+
+void GgdProcess::sync_sweep_round() {
+  for (auto& [peer, ps] : peer_sync_) {
+    bool lagging = false;
+    for (const auto& [q, sent_rev] : ps.sent) {
+      auto ait = ps.acked.find(q);
+      if (ait == ps.acked.end() || ait->second < sent_rev) {
+        lagging = true;
+        break;
+      }
+    }
+    if (!lagging) {
+      ps.stale_rounds = 0;
+      continue;
+    }
+    if (++ps.stale_rounds >= 2) {
+      // Full-resync escape hatch: two consecutive sweeps without the
+      // peer confirming everything sent — sustained loss, a migration
+      // bounce that restarted its ack stream, or a one-way edge that
+      // never carries acks back. Roll the sent frontier back to the
+      // acked one; the next message to the peer re-ships the rest.
+      ps.sent = ps.acked;
+      ps.stale_rounds = 0;
+    }
+  }
 }
 
 void GgdProcess::merge_edge_facts(const DependencyVector& facts,
@@ -630,7 +792,7 @@ bool GgdProcess::reachable_from_root(
   return false;
 }
 
-GgdMessage GgdProcess::make_destruction_message(ProcessId to) const {
+GgdMessage GgdProcess::make_destruction_message(ProcessId to) {
   // §3.4: the edge-destruction control message from i to k carries the row
   // DV_i[k] maintained on behalf of k — thereby atomically delivering every
   // deferred third-party edge-creation entry — with slot i replaced by a
@@ -643,12 +805,12 @@ GgdMessage GgdProcess::make_destruction_message(ProcessId to) const {
   msg.v = log_.row(to);
   msg.v.set(id_, Timestamp::destruction(log_.own_timestamp().index()));
   msg.self_row = log_.self_row();
-  msg.rows = known_rows_;
   msg.dead = dead_;
+  attach_sync(msg, /*include_rows=*/true);
   return msg;
 }
 
-GgdMessage GgdProcess::make_announce(ProcessId to) const {
+GgdMessage GgdProcess::make_announce(ProcessId to) {
   GgdMessage msg;
   msg.from = id_;
   msg.to = to;
@@ -658,12 +820,12 @@ GgdMessage GgdProcess::make_announce(ProcessId to) const {
   msg.v = compute_v();
   msg.self_row = log_.self_row();
   msg.behalf = log_.row(to);
-  msg.rows = known_rows_;
   msg.dead = dead_;
+  attach_sync(msg, /*include_rows=*/true);
   return msg;
 }
 
-GgdMessage GgdProcess::make_reply(ProcessId to) const {
+GgdMessage GgdProcess::make_reply(ProcessId to) {
   GgdMessage msg;
   msg.from = id_;
   msg.to = to;
@@ -677,11 +839,11 @@ GgdMessage GgdProcess::make_reply(ProcessId to) const {
       msg.behalf_rows.emplace(q, row);
     }
   }
-  msg.rows = known_rows_;
   msg.dead = dead_;
   msg.reply = true;
   msg.has_out_edges = true;
   msg.out_edges = acquaintances_;
+  attach_sync(msg, /*include_rows=*/true);
   return msg;
 }
 
@@ -743,6 +905,21 @@ void GgdProcess::import_state(const GgdProcessSnapshot& snap) {
   confirm_time_ = snap.confirm_time;
   pending_verify_ = snap.pending_verify;
   pending_verify_since_ = snap.pending_verify_since;
+  // Delta-sync state is deliberately NOT part of the snapshot: per-peer
+  // frontiers describe what the PREVIOUS incarnation shipped, and the new
+  // site-of-record must never claim rows it has not sent itself. Restamp
+  // every adopted row from a fresh counter and open a new sync epoch so
+  // ack echoes addressed to the old incarnation's stamps are discarded
+  // instead of regressing frontiers (the migration-bounce failure mode).
+  row_rev_.clear();
+  rev_counter_ = 0;
+  for (const auto& entry : known_rows_) {
+    row_rev_.emplace(entry.first, ++rev_counter_);
+  }
+  peer_sync_.clear();
+  ack_pending_.clear();
+  ack_epoch_pending_.clear();
+  ++sync_epoch_;
 }
 
 std::vector<GgdMessage> GgdProcess::remove_self() {

@@ -15,6 +15,7 @@
 // finalisation (edge-destruction) cascade.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <utility>
 #include <vector>
@@ -65,9 +66,31 @@ struct GgdMessage {
   /// own counters. Rows flooding along the cascade is what keeps the
   /// message COUNT of collecting a k-element structure at O(k) (§4's
   /// comparison): without relaying, every member must inquire every other
-  /// member's row — O(k^2) messages. Message size grows instead, exactly
-  /// like the paper's circulating dependency vectors.
+  /// member's row — O(k^2) messages. Under the delta relay policy this
+  /// carries only rows new or changed since the receiver's confirmed
+  /// frontier (O(changed), not O(population), bytes per forward); the
+  /// whole-map policy ships everything, as the pre-delta protocol did.
   FlatMap<ProcessId, DependencyVector> rows;
+  /// Sender-local revision stamps, one per entry of `rows` (same keys).
+  /// Revisions are drawn from a per-process monotone counter and bumped
+  /// whenever the stored copy of a row actually changes — subject event
+  /// counters alone cannot version a row because equal-version merges
+  /// (behalf overlays, conservative resurrections) change content without
+  /// advancing the subject's counter. Receivers echo these stamps back as
+  /// acks; they carry no protocol meaning beyond frontier bookkeeping.
+  FlatMap<ProcessId, std::uint64_t> row_revs;
+  /// Piggybacked frontier acks: for each subject q, the highest revision
+  /// stamp of q's row that `from` has received from `to`. Valid only under
+  /// `ack_epoch`; the receiver ignores acks from a stale epoch (its sync
+  /// state restarted — e.g. a migration hand-off — since they were echoed).
+  FlatMap<ProcessId, std::uint64_t> row_acks;
+  /// The sender's current sync epoch, stamped on every message that ships
+  /// rows. A receiver seeing the epoch advance discards acks it had
+  /// accumulated against the previous incarnation of the sender's stamps.
+  std::uint64_t sync_epoch = 0;
+  /// The epoch under which `row_acks` were recorded (the ROW-sender's
+  /// epoch as last observed by this message's sender).
+  std::uint64_t ack_epoch = 0;
   /// Processes known to have been collected. Death is a stable global
   /// fact (a removed global root has no edges and will never be revived),
   /// so it propagates monotonically on every message; it is what clears
@@ -139,6 +162,13 @@ struct GgdProcessSnapshot {
   [[nodiscard]] bool operator==(const GgdProcessSnapshot&) const = default;
 };
 
+/// How a process selects relayed rows for an outgoing message.
+/// kDelta (the default) ships only rows new or changed since the
+/// destination's confirmed frontier; kWholeMap reproduces the pre-delta
+/// protocol (every known row on every message) and exists for the
+/// differential conformance sweep and as an operational escape hatch.
+enum class RelayPolicy : std::uint8_t { kDelta, kWholeMap };
+
 class GgdProcess {
  public:
   GgdProcess(ProcessId id, bool is_root)
@@ -182,7 +212,8 @@ class GgdProcess {
   /// Builds the finalisation messages this process sends when it removes
   /// itself (or when the mutator side destroys one specific edge — see
   /// lazy_logkeeping). Exposed for the destructor cascade and for tests.
-  [[nodiscard]] GgdMessage make_destruction_message(ProcessId to) const;
+  /// Non-const: attaching rows advances the destination's sent frontier.
+  [[nodiscard]] GgdMessage make_destruction_message(ProcessId to);
 
   /// Marks the process removed and returns the finalisation cascade
   /// messages (one edge-destruction message per acquaintance).
@@ -191,12 +222,12 @@ class GgdProcess {
   /// Builds the answer to an inquiry: this process's current vector-time
   /// approximation, vouchers and death knowledge, flagged as a reply so
   /// the inquirer does not mistake it for an edge fact.
-  [[nodiscard]] GgdMessage make_reply(ProcessId to) const;
+  [[nodiscard]] GgdMessage make_reply(ProcessId to);
 
   /// Builds an edge announce: a regular vector message to `to` asserting
   /// the newly created edge this -> to (the runtime layer sends one per
   /// new summarised global-root-graph edge; asynchronous and idempotent).
-  [[nodiscard]] GgdMessage make_announce(ProcessId to) const;
+  [[nodiscard]] GgdMessage make_announce(ProcessId to);
 
   /// True iff a vector received directly from `q` has been merged into the
   /// history map — i.e. we hold `q`'s own account of its causal history
@@ -207,6 +238,10 @@ class GgdProcess {
   void decertify_row(ProcessId q) {
     history_.erase(q);
     known_rows_.erase(q);
+    // Keep the revision map aligned with known_rows_ (hard invariant): a
+    // later re-adoption stamps a fresh revision from the monotone counter,
+    // so peers whose frontier saw the decertified copy re-receive it.
+    row_rev_.erase(q);
   }
 
   /// Accumulated third-party on-behalf knowledge: for subject q, the
@@ -290,6 +325,56 @@ class GgdProcess {
   /// verdicts.
   void reset_inquiry_gates();
 
+  /// Selects the relay policy for outgoing row attachment. Switching to
+  /// whole-map mid-run is always safe (it only ever ships MORE); switching
+  /// to delta mid-run is too, because frontiers start empty and therefore
+  /// under-claim.
+  void set_relay_policy(RelayPolicy policy) { relay_policy_ = policy; }
+  [[nodiscard]] RelayPolicy relay_policy() const { return relay_policy_; }
+
+  /// Applies the piggybacked frontier acks of `msg` (acks this process's
+  /// own shipped rows). Called from receive(), and explicitly by the
+  /// engine/site inquiry paths — raw inquiries are answered without going
+  /// through receive(), and silently dropping their acks would leave the
+  /// inquirer re-shipping rows the subject already has.
+  void apply_row_acks(const GgdMessage& msg);
+
+  /// Per-sweep maintenance of the per-peer frontiers — the full-resync
+  /// escape hatch. A peer whose acked frontier has lagged its sent
+  /// frontier for two consecutive sweeps (sustained loss, a collected
+  /// correspondent, or a one-way acquaintance edge that never acks) has
+  /// its sent frontier rolled back to the acked one, so the next message
+  /// to it re-ships everything unconfirmed. Bounded: re-shipping costs
+  /// bytes only while messages actually flow to that peer.
+  void sync_sweep_round();
+
+  /// Delta-sync observability (tests and diagnostics).
+  [[nodiscard]] std::uint64_t sync_epoch() const { return sync_epoch_; }
+  [[nodiscard]] std::uint64_t row_rev(ProcessId q) const {
+    auto it = row_rev_.find(q);
+    return it == row_rev_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] std::uint64_t peer_sent_rev(ProcessId peer,
+                                            ProcessId q) const {
+    auto it = peer_sync_.find(peer);
+    if (it == peer_sync_.end()) return 0;
+    auto sit = it->second.sent.find(q);
+    return sit == it->second.sent.end() ? 0 : sit->second;
+  }
+  [[nodiscard]] std::uint64_t peer_acked_rev(ProcessId peer,
+                                             ProcessId q) const {
+    auto it = peer_sync_.find(peer);
+    if (it == peer_sync_.end()) return 0;
+    auto ait = it->second.acked.find(q);
+    return ait == it->second.acked.end() ? 0 : ait->second;
+  }
+  /// The full replica-row map (differential conformance compares the
+  /// converged row state of delta vs whole-map runs).
+  [[nodiscard]] const FlatMap<ProcessId, DependencyVector>& known_rows()
+      const {
+    return known_rows_;
+  }
+
   /// Merges announced edge facts delivered outside a regular message —
   /// the engine feeds an inquiry's piggybacked behalf row through this,
   /// so a deferred grant reaches its subject for adjudication (resurrect,
@@ -328,6 +413,31 @@ class GgdProcess {
   /// older destruction marker would otherwise mask.
   void merge_edge_facts(const DependencyVector& facts, ProcessId skip);
 
+  /// Per-peer delta-sync bookkeeping: which of our row revisions the peer
+  /// has been sent (optimistic, advanced at build time) and which it has
+  /// acked (advanced only by epoch-valid ack echoes).
+  struct PeerSync {
+    FlatMap<ProcessId, std::uint64_t> sent;
+    FlatMap<ProcessId, std::uint64_t> acked;
+    std::uint8_t stale_rounds = 0;
+  };
+
+  /// Stamps a fresh revision on q's stored row. The counter is globally
+  /// monotone within this process, so a re-adopted row (decertify, death
+  /// purge, then fresh arrival) always out-revisions every stamp any peer
+  /// ever saw — no ABA on the frontier.
+  void bump_rev(ProcessId q) { row_rev_[q] = ++rev_counter_; }
+
+  /// Stamps epoch + pending acks onto an outgoing message and, when
+  /// `include_rows` is set, attaches the row delta (or the whole map,
+  /// per policy) for msg.to. Inquiries pass include_rows=false: the
+  /// engine answers them without running receive() at the target, so
+  /// attached rows would be wasted bytes yet still counted as sent.
+  void attach_sync(GgdMessage& msg, bool include_rows);
+
+  /// Accumulates acks for the rows `msg` shipped, to ride on the next
+  /// message addressed to msg.from.
+  void record_row_acks(const GgdMessage& msg);
 
   ProcessId id_;
   bool is_root_;
@@ -395,6 +505,21 @@ class GgdProcess {
   DependencyVector last_v_;
   FlatSet<ProcessId> acquaintances_;
   bool removed_ = false;
+  /// ---- Delta row-relay state (NOT serialized in GgdProcessSnapshot).
+  /// Frontiers describe what THIS incarnation shipped; after a hand-off
+  /// the new site-of-record must not claim rows it never sent, so the
+  /// state is rebuilt from scratch on import under a fresh epoch.
+  /// Invariant: keys(row_rev_) == keys(known_rows_).
+  FlatMap<ProcessId, std::uint64_t> row_rev_;
+  std::uint64_t rev_counter_ = 0;
+  FlatMap<ProcessId, PeerSync> peer_sync_;
+  /// Acks accumulated per row-sender, flushed onto the next message to
+  /// that sender; ack_epoch_pending_ remembers the sender epoch they were
+  /// recorded under.
+  FlatMap<ProcessId, FlatMap<ProcessId, std::uint64_t>> ack_pending_;
+  FlatMap<ProcessId, std::uint64_t> ack_epoch_pending_;
+  std::uint64_t sync_epoch_ = 0;
+  RelayPolicy relay_policy_ = RelayPolicy::kDelta;
 };
 
 }  // namespace cgc

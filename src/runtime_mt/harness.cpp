@@ -53,7 +53,7 @@ ThreadedRun run_threaded(const ScenarioSpec& spec,
   for (std::uint64_t s = 0; s < cfg.num_threads; ++s) {
     workers.push_back(std::make_unique<SiteWorker>(
         SiteId{s}, placement, LogKeepingMode::kRobust, transport, recorder,
-        ops, seeder.next()));
+        ops, seeder.next(), cfg.coalesce_max_bytes, cfg.coalesce_max_ops));
   }
   std::vector<std::thread> threads;
   threads.reserve(cfg.num_threads);
@@ -209,7 +209,12 @@ struct ReplayCtx {
       case Envelope::Kind::kStop:
         break;
     }
-    check_outbound(s, rec.seq);
+    // The live worker coalesced: its assembler was only taken at the
+    // recorded flush points, so the replay's per-site assembler must be
+    // taken at exactly those records to regenerate identical packets.
+    if (rec.flushed) {
+      check_outbound(s, rec.seq);
+    }
   }
 
   void feed_oracle(const MutatorOp& op) {

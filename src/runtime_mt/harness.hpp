@@ -60,6 +60,12 @@ struct ThreadedConfig {
   std::uint64_t max_envelopes = 4'000'000;
   /// Wall-clock limit on each quiescence wait before the run aborts.
   std::uint64_t watchdog_ms = 60'000;
+  /// Outbound coalescing budgets: a worker defers shipping its assembled
+  /// packets until the pending framed bytes or the consumed-input count
+  /// reach these, or its mailbox goes idle. `coalesce_max_ops = 1`
+  /// reproduces the old flush-per-envelope behavior.
+  std::uint64_t coalesce_max_bytes = 4'096;
+  std::uint64_t coalesce_max_ops = 16;
 };
 
 struct ThreadedRun {

@@ -167,6 +167,9 @@ void SiteNode::on_ggd_message(const GgdMessage& msg) {
   }
   GgdProcess& target = process(msg.to);
   if (msg.inquiry) {
+    // Inquiries bypass receive(); apply their frontier acks explicitly
+    // (same as GgdEngine::on_ggd_message).
+    target.apply_row_acks(msg);
     if (!target.removed()) {
       target.absorb_edge_facts(msg.behalf, msg.from);
     }
@@ -216,6 +219,7 @@ void SiteNode::sweep() {
       continue;
     }
     proc.reset_inquiry_gates();
+    proc.sync_sweep_round();
     std::vector<GgdMessage> out =
         proc.decide(is_root_fn_, /*allow_inquiry=*/true, clock_);
     if (proc.removed()) {

@@ -8,16 +8,21 @@ SiteWorker::SiteWorker(SiteId site, const Placement& placement,
                        LogKeepingMode mode, ThreadedTransport& transport,
                        wire::ConcurrentTraceRecorder& rec,
                        const std::vector<MutatorOp>& ops,
-                       std::uint64_t rng_seed)
+                       std::uint64_t rng_seed,
+                       std::uint64_t coalesce_max_bytes,
+                       std::uint64_t coalesce_max_ops)
     : site_(site),
       transport_(transport),
       recorder_(rec),
       ops_(ops),
       node_(site, placement, mode, &stats_),
       assembler_(site),
-      rng_(rng_seed) {
+      rng_(rng_seed),
+      coalesce_max_bytes_(coalesce_max_bytes),
+      coalesce_max_ops_(coalesce_max_ops) {
   node_.set_sender([this](SiteId to, const wire::WireMessage& msg) {
     const std::size_t framed = assembler_.add(to, msg);
+    deferred_bytes_ += framed;
     stats_.on_send(msg.kind, framed);
   });
 }
@@ -27,19 +32,29 @@ void SiteWorker::run() {
   for (;;) {
     std::optional<Envelope> env = inbox.try_pop();
     if (!env.has_value()) {
-      // Idle: release any parked packet so a pocketed envelope can never
-      // stall quiescence, then let the other workers run (one core).
+      // Idle: flush deferred output and release any parked packet so
+      // neither coalescing nor the pocket can ever stall quiescence, then
+      // let the other workers run (one core).
+      if (transport_.aborted()) {
+        discard_deferred();
+      } else {
+        flush_deferred();
+      }
       flush_pocket();
       std::this_thread::yield();
       continue;
     }
     if (env->kind == Envelope::Kind::kStop) {
+      // Healthy runs reach the sentinel quiescent (nothing deferred);
+      // aborted runs may still hold parked output — drop it so the token
+      // is released and nothing is pushed after the stop.
+      discard_deferred();
       break;
     }
     const std::uint64_t seq = transport_.stamp();
     if (!transport_.aborted()) {
       process(*env, seq);
-      ship_outbound();
+      maybe_ship();
     }
     ++processed_;
     transport_.sub_inflight();
@@ -71,10 +86,48 @@ void SiteWorker::process(const Envelope& env, std::uint64_t seq) {
   log_.push_back(rec);
 }
 
-void SiteWorker::ship_outbound() {
+void SiteWorker::maybe_ship() {
+  if (deferred_bytes_ == 0) {
+    return;  // this input produced nothing and nothing is parked
+  }
+  if (!holding_token_) {
+    // First deferred byte: take the token BEFORE this envelope's
+    // sub_inflight so the counter can never read zero with output parked.
+    transport_.add_inflight();
+    holding_token_ = true;
+  }
+  ++deferred_ops_;
+  if (deferred_bytes_ >= coalesce_max_bytes_ ||
+      deferred_ops_ >= coalesce_max_ops_) {
+    flush_deferred();
+  }
+}
+
+void SiteWorker::flush_deferred() {
+  if (!holding_token_) {
+    return;
+  }
+  // Deferred output exists, so at least one input was consumed and logged;
+  // the flush happens-after that record in this site's history.
+  log_.back().flushed = true;
   for (PacketAssembler::Packet& pkt : assembler_.take()) {
     send_packet(std::move(pkt));
   }
+  deferred_bytes_ = 0;
+  deferred_ops_ = 0;
+  holding_token_ = false;
+  transport_.sub_inflight();
+}
+
+void SiteWorker::discard_deferred() {
+  if (!holding_token_) {
+    return;
+  }
+  (void)assembler_.take();
+  deferred_bytes_ = 0;
+  deferred_ops_ = 0;
+  holding_token_ = false;
+  transport_.sub_inflight();
 }
 
 void SiteWorker::send_packet(PacketAssembler::Packet&& pkt) {

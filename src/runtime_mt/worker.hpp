@@ -15,6 +15,15 @@
 // is a one-slot pocket: a chosen packet is parked and only released after
 // a later send (or on idle), which realizes a genuine overtake in the
 // delivery order the consumer stamps.
+//
+// Outbound flushes are coalesced: instead of shipping the assembler after
+// every consumed input, the worker defers until the pending bytes or the
+// consumed-input count exceed a small budget, or the mailbox goes idle.
+// While bytes are deferred the worker holds one extra in-flight token so
+// the driver's quiescence detection cannot observe "no work" with output
+// still parked in an assembler. Each input record notes whether a flush
+// happened after it, so the replay flushes its assemblers at exactly the
+// recorded points and regenerated packets stay byte-identical.
 #pragma once
 
 #include <cstdint>
@@ -43,13 +52,18 @@ struct InputRecord {
   std::uint32_t op_index = 0;    // kOp
   std::uint64_t packet_id = 0;   // kPacket: index into the recorded trace
   bool applied = false;          // kOp: site-local precondition verdict
+  /// The worker flushed its outbound assembler after consuming this
+  /// input — the replay must flush at exactly these points to regenerate
+  /// the same per-destination packet coalescing.
+  bool flushed = false;
 };
 
 class SiteWorker {
  public:
   SiteWorker(SiteId site, const Placement& placement, LogKeepingMode mode,
              ThreadedTransport& transport, wire::ConcurrentTraceRecorder& rec,
-             const std::vector<MutatorOp>& ops, std::uint64_t rng_seed);
+             const std::vector<MutatorOp>& ops, std::uint64_t rng_seed,
+             std::uint64_t coalesce_max_bytes, std::uint64_t coalesce_max_ops);
 
   /// Thread body: runs until the kStop sentinel.
   void run();
@@ -64,8 +78,13 @@ class SiteWorker {
 
  private:
   void process(const Envelope& env, std::uint64_t seq);
-  /// Ships everything the node emitted for the input just consumed.
-  void ship_outbound();
+  /// Coalescing gate: after an input is consumed, either keep deferring
+  /// the assembler's output or flush it when a budget is exceeded.
+  void maybe_ship();
+  /// Ships every deferred packet and releases the deferral token.
+  void flush_deferred();
+  /// Drops deferred output without sending (aborted runs only).
+  void discard_deferred();
   void send_packet(PacketAssembler::Packet&& pkt);
   void flush_pocket();
 
@@ -85,6 +104,16 @@ class SiteWorker {
   };
   std::optional<Parked> pocket_;
   std::uint64_t processed_ = 0;
+  // -- Outbound coalescing state --------------------------------------------
+  std::uint64_t coalesce_max_bytes_;
+  std::uint64_t coalesce_max_ops_;
+  /// Framed bytes sitting in the assembler since the last flush.
+  std::uint64_t deferred_bytes_ = 0;
+  /// Inputs consumed since deferral began — bounds the flush delay.
+  std::uint64_t deferred_ops_ = 0;
+  /// True while this worker holds the extra in-flight token that keeps
+  /// the transport non-quiescent while output is parked.
+  bool holding_token_ = false;
 };
 
 }  // namespace cgc::runtime_mt

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -114,6 +115,69 @@ class Encoder {
       prev = p.value();
       first = false;
       varint(v);
+    }
+  }
+
+  /// Columnar row batch for the delta row-relay: subject ids, revision
+  /// stamps, per-row entry counts, entry ids, then ONE timestamp column
+  /// for the whole batch, run-length encoded. Grouping like-typed values
+  /// into columns is what makes the RLE bite — a batch of related rows is
+  /// dominated by long runs of identical packed timestamps (mostly
+  /// low-index live entries), which the per-row encoding interleaves with
+  /// ids and re-pays for every row. Ids delta-encode exactly like
+  /// row_map (strictly increasing at both levels, one canonical form).
+  void row_batch(const FlatMap<ProcessId, DependencyVector>& rows,
+                 const FlatMap<ProcessId, std::uint64_t>& revs) {
+    CGC_CHECK(rows.size() == revs.size());
+    varint(rows.size());
+    // Column 1: subject ids (delta).
+    std::uint64_t prev = 0;
+    bool first = true;
+    for (const auto& entry : rows) {
+      varint(first ? entry.first.value() : entry.first.value() - prev);
+      prev = entry.first.value();
+      first = false;
+    }
+    // Column 2: revision stamps, aligned with column 1.
+    auto rit = revs.begin();
+    for (const auto& entry : rows) {
+      CGC_CHECK(rit != revs.end() && rit->first == entry.first);
+      varint(rit->second);
+      ++rit;
+    }
+    // Column 3: per-row entry counts.
+    for (const auto& entry : rows) {
+      varint(entry.second.size());
+    }
+    // Column 4: entry ids, delta-encoded within each row.
+    for (const auto& entry : rows) {
+      std::uint64_t eprev = 0;
+      bool efirst = true;
+      for (const auto& e : entry.second.entries()) {
+        varint(efirst ? e.first.value() : e.first.value() - eprev);
+        eprev = e.first.value();
+        efirst = false;
+      }
+    }
+    // Column 5: every entry's packed timestamp, batch-wide, as maximal
+    // (value, run-length) pairs.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> runs;
+    for (const auto& entry : rows) {
+      for (const auto& e : entry.second.entries()) {
+        CGC_CHECK(e.second.index() < (std::uint64_t{1} << 63));
+        const std::uint64_t packed =
+            (e.second.index() << 1) | (e.second.destroyed() ? 1 : 0);
+        if (!runs.empty() && runs.back().first == packed) {
+          ++runs.back().second;
+        } else {
+          runs.emplace_back(packed, 1);
+        }
+      }
+    }
+    varint(runs.size());
+    for (const auto& run : runs) {
+      varint(run.first);
+      varint(run.second);
     }
   }
 
@@ -274,6 +338,109 @@ class Decoder {
       rows[ProcessId{prev}] = dependency_vector();  // increasing: append
     }
     return ok() ? rows : FlatMap<ProcessId, DependencyVector>{};
+  }
+
+  /// Decodes a columnar row batch into aligned (rows, revs) maps. Total
+  /// like everything else here: counts are guarded against the remaining
+  /// buffer before allocating, ids must be strictly increasing at both
+  /// levels, runs must be maximal (no two consecutive runs share a
+  /// value), non-empty, non-zero (zero entries are never stored) and
+  /// cover the batch's entry count exactly.
+  void row_batch(FlatMap<ProcessId, DependencyVector>& rows,
+                 FlatMap<ProcessId, std::uint64_t>& revs) {
+    rows = {};
+    revs = {};
+    const std::uint64_t n = varint();
+    if (ok() && n > size_ - pos_) {  // each subject id costs >= 1 byte
+      fail(Error::kTruncated);
+    }
+    if (!ok()) {
+      return;
+    }
+    std::vector<std::uint64_t> ids;
+    ids.reserve(n);
+    std::uint64_t prev = 0;
+    for (std::uint64_t i = 0; ok() && i < n; ++i) {
+      const std::uint64_t delta = varint();
+      if (i > 0 && delta == 0) {
+        fail(Error::kMalformed);
+        break;
+      }
+      prev = (i == 0) ? delta : prev + delta;
+      ids.push_back(prev);
+    }
+    std::vector<std::uint64_t> rev_vals;
+    rev_vals.reserve(n);
+    for (std::uint64_t i = 0; ok() && i < n; ++i) {
+      rev_vals.push_back(varint());
+    }
+    std::vector<std::uint64_t> counts;
+    counts.reserve(n);
+    std::uint64_t total = 0;
+    for (std::uint64_t i = 0; ok() && i < n; ++i) {
+      counts.push_back(varint());
+      total += counts.back();
+    }
+    if (ok() && total > size_ - pos_) {  // each entry id costs >= 1 byte
+      fail(Error::kTruncated);
+    }
+    if (!ok()) {
+      return;
+    }
+    std::vector<std::uint64_t> entry_ids;
+    entry_ids.reserve(total);
+    for (std::uint64_t i = 0; ok() && i < n; ++i) {
+      std::uint64_t eprev = 0;
+      for (std::uint64_t j = 0; ok() && j < counts[i]; ++j) {
+        const std::uint64_t delta = varint();
+        if (j > 0 && delta == 0) {
+          fail(Error::kMalformed);
+          break;
+        }
+        eprev = (j == 0) ? delta : eprev + delta;
+        entry_ids.push_back(eprev);
+      }
+    }
+    const std::uint64_t n_runs = varint();
+    if (ok() && n_runs > size_ - pos_) {  // each run costs >= 2 bytes
+      fail(Error::kTruncated);
+    }
+    std::vector<std::uint64_t> packed;
+    packed.reserve(ok() ? total : 0);
+    std::uint64_t prev_value = 0;
+    for (std::uint64_t r = 0; ok() && r < n_runs; ++r) {
+      const std::uint64_t value = varint();
+      const std::uint64_t len = varint();
+      if (!ok()) {
+        break;
+      }
+      if (value == 0 || len == 0 || len > total - packed.size() ||
+          (r > 0 && value == prev_value)) {
+        fail(Error::kMalformed);
+        break;
+      }
+      prev_value = value;
+      packed.insert(packed.end(), len, value);
+    }
+    if (ok() && packed.size() != total) {
+      fail(Error::kMalformed);
+    }
+    if (!ok()) {
+      return;
+    }
+    std::size_t cursor = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      DependencyVector dv;
+      for (std::uint64_t j = 0; j < counts[i]; ++j) {
+        const std::uint64_t raw = packed[cursor];
+        const ProcessId q{entry_ids[cursor]};
+        ++cursor;
+        dv.set(q, (raw & 1) ? Timestamp::destruction(raw >> 1)
+                            : Timestamp::creation(raw >> 1));
+      }
+      rows[ProcessId{ids[i]}] = std::move(dv);  // increasing: append
+      revs[ProcessId{ids[i]}] = rev_vals[i];
+    }
   }
 
   FlatMap<ProcessId, std::uint64_t> u64_map() {

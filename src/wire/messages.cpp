@@ -43,7 +43,13 @@ void encode_body(Encoder& enc, const GgdControl& c) {
   enc.dependency_vector(m.self_row);
   enc.dependency_vector(m.behalf);
   enc.row_map(m.behalf_rows);
-  enc.row_map(m.rows);
+  // Relayed rows travel as one columnar batch (delta row-relay): the
+  // per-row encoding paid the id/timestamp interleave for every row,
+  // while the batch's single RLE timestamp column collapses across rows.
+  enc.row_batch(m.rows, m.row_revs);
+  enc.u64_map(m.row_acks);
+  enc.varint(m.sync_epoch);
+  enc.varint(m.ack_epoch);
   enc.process_set(m.dead);
   std::uint8_t flags = 0;
   flags |= m.inquiry ? kInquiryBit : 0;
@@ -62,7 +68,10 @@ GgdControl decode_ggd_control(Decoder& dec) {
   m.self_row = dec.dependency_vector();
   m.behalf = dec.dependency_vector();
   m.behalf_rows = dec.row_map();
-  m.rows = dec.row_map();
+  dec.row_batch(m.rows, m.row_revs);
+  m.row_acks = dec.u64_map();
+  m.sync_epoch = dec.varint();
+  m.ack_epoch = dec.varint();
   m.dead = dec.process_set();
   const std::uint8_t flags = dec.u8();
   m.inquiry = (flags & kInquiryBit) != 0;

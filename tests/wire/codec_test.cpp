@@ -35,6 +35,8 @@ FlatSet<ProcessId> random_set(Rng& rng, std::size_t max_entries = 8) {
   return s;
 }
 
+FlatMap<ProcessId, std::uint64_t> random_u64_map(Rng& rng, std::size_t max_n);
+
 GgdMessage random_ggd_message(Rng& rng) {
   GgdMessage m;
   m.from = P(1 + rng.below(100));
@@ -44,10 +46,16 @@ GgdMessage random_ggd_message(Rng& rng) {
   m.behalf = random_dv(rng);
   const std::size_t rows = rng.below(4);
   std::uint64_t pid = 0;
+  std::uint64_t rev = 0;
   for (std::size_t i = 0; i < rows; ++i) {
     pid += 1 + rng.below(50);
     m.rows[P(pid)] = random_dv(rng, 6);
+    // Revision stamps are per-message aligned with `rows` on the wire.
+    m.row_revs[P(pid)] = ++rev + rng.below(100);
   }
+  m.row_acks = random_u64_map(rng, 6);
+  m.sync_epoch = rng.below(8);
+  m.ack_epoch = rng.below(8);
   m.dead = random_set(rng);
   m.inquiry = rng.chance(0.2);
   m.reply = rng.chance(0.2);
