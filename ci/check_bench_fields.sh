@@ -27,11 +27,15 @@ for name in BENCH_transport.json BENCH_logkeeping.json \
 done
 
 # The scale tier additionally carries the threaded-runtime throughput
-# number (mailbox envelopes/sec through the worker threads) and the
+# number (mailbox envelopes/sec through the worker threads), the
 # delta-relay cost curve (GGD control bytes per reclaimed process —
-# the number the per-peer sync state exists to flatten).
+# the number the per-peer sync state exists to flatten), and the
+# incremental-sweep shape (pause ceiling in µs plus how many budget
+# slices a round splits into — the numbers the sweep scheduler exists
+# to bound).
 if [ -f "$dir/BENCH_scale.json" ]; then
-  for field in threaded_events_per_sec control_bytes_per_reclaimed; do
+  for field in threaded_events_per_sec control_bytes_per_reclaimed \
+               sweep_pause_p99_us sweep_slices_per_round; do
     if ! grep -q "\"$field\"" "$dir/BENCH_scale.json"; then
       echo "MISSING FIELD: BENCH_scale.json lacks \"$field\"" >&2
       status=1

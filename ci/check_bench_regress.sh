@@ -7,6 +7,9 @@
 #   * events_per_sec            (throughput  — fresh must be >= 85% of base)
 #   * bytes_per_reclaimed       (wire cost   — fresh must be <= 115% of base)
 #   * control_bytes_per_reclaimed (GGD control cost — same 115% ceiling)
+#   * sweep_pause_p99_us          (sweep pause ceiling — fresh must be
+#                                  <= 125% of base; wall-clock, so the
+#                                  margin is wider than the byte gates)
 #
 # plus the threaded runtime's threaded_events_per_sec (>= 85% of base).
 #
@@ -42,6 +45,7 @@ base = json.load(open(sys.argv[2]))
 
 THROUGHPUT_FLOOR = 0.85  # fresh/base must stay above this
 COST_CEILING = 1.15      # fresh/base must stay below this
+PAUSE_CEILING = 1.25     # sweep-pause p99 is wall-clock: wider margin
 
 failures = []
 compared = 0
@@ -63,6 +67,10 @@ def check(name, metric, fresh_v, base_v, kind):
         failures.append(
             f"{name}.{metric}: {fresh_v:.0f} vs baseline {base_v:.0f} "
             f"({ratio:.2f}x, ceiling {COST_CEILING}x)")
+    if kind == "pause" and ratio > PAUSE_CEILING:
+        failures.append(
+            f"{name}.{metric}: {fresh_v:.0f} vs baseline {base_v:.0f} "
+            f"({ratio:.2f}x, ceiling {PAUSE_CEILING}x)")
 
 
 for name, b_cfg in base.get("configs", {}).items():
@@ -77,6 +85,12 @@ for name, b_cfg in base.get("configs", {}).items():
     check(name, "control_bytes_per_reclaimed",
           f_cfg.get("control_bytes_per_reclaimed"),
           b_cfg.get("control_bytes_per_reclaimed"), "cost")
+    # Older baselines predate the unit-suffixed alias; fall back to the
+    # histogram field so the gate still bites across the rename.
+    check(name, "sweep_pause_p99_us",
+          f_cfg.get("sweep_pause_p99_us", f_cfg.get("sweep_pause_p99")),
+          b_cfg.get("sweep_pause_p99_us", b_cfg.get("sweep_pause_p99")),
+          "pause")
 
 check("threaded", "threaded_events_per_sec",
       fresh.get("threaded", {}).get("threaded_events_per_sec"),

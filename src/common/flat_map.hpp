@@ -83,6 +83,20 @@ class FlatMap {
     return const_cast<FlatMap*>(this)->lower_bound(key);
   }
 
+  /// First entry with a key strictly greater than `key` — how the sweep
+  /// scheduler resumes a budget-bounded scan from its last-visited key
+  /// (keys survive the inserts/erases that invalidate iterators).
+  [[nodiscard]] iterator upper_bound(const K& key) {
+    iterator it = lower_bound(key);
+    if (it != entries_.end() && it->first == key) {
+      ++it;
+    }
+    return it;
+  }
+  [[nodiscard]] const_iterator upper_bound(const K& key) const {
+    return const_cast<FlatMap*>(this)->upper_bound(key);
+  }
+
   [[nodiscard]] iterator find(const K& key) {
     iterator it = lower_bound(key);
     return (it != entries_.end() && it->first == key) ? it : entries_.end();
@@ -223,6 +237,22 @@ class FlatSet {
   }
   [[nodiscard]] std::size_t count(const K& key) const {
     return contains(key) ? 1 : 0;
+  }
+
+  /// First key strictly greater than `key` (sweep-cursor resume point).
+  [[nodiscard]] const_iterator upper_bound(const K& key) const {
+    auto it = const_cast<FlatSet*>(this)->lower(key);
+    if (it != keys_.end() && *it == key) {
+      ++it;
+    }
+    return it;
+  }
+
+  /// Rank of `key`'s lower bound: how many keys precede it. The sweep
+  /// backlog estimate uses this as the scan-queue position.
+  [[nodiscard]] std::size_t rank(const K& key) const {
+    return static_cast<std::size_t>(
+        const_cast<FlatSet*>(this)->lower(key) - keys_.begin());
   }
 
   std::pair<const_iterator, bool> insert(const K& key) {

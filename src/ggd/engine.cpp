@@ -13,6 +13,7 @@ GgdProcess& GgdEngine::add_process(ProcessId id, SiteId site, bool is_root) {
   procs_.emplace_back(id, is_root);
   site_by_idx_.push_back(site);
   root_by_idx_.push_back(is_root ? 1 : 0);
+  generations_.add();  // newborns start hot: scanned by the next round
   proc_order_.insert(id);
   attach_site(site);
   procs_.back().set_observed(obs_attached_);
@@ -25,6 +26,7 @@ void GgdEngine::attach_obs(obs::Registry* registry, obs::Journal* journal) {
   if (registry != nullptr) {
     metrics_.sweep_pause_us = &registry->histogram("ggd.sweep_pause_us");
     metrics_.sweep_scanned = &registry->histogram("ggd.sweep_scanned");
+    metrics_.sweep_slices = &registry->histogram("ggd.sweep_slices_per_round");
     metrics_.walk_consulted = &registry->histogram("ggd.walk_consulted");
     metrics_.relay_rows = &registry->histogram("ggd.relay_rows");
     metrics_.walks = &registry->counter("ggd.walks");
@@ -103,6 +105,7 @@ void GgdEngine::create_object(ProcessId creator, ProcessId newborn,
   // creator (rule 1 of §3.4) — this is the event the paper numbers e.g.
   // e2,1 for "root 1 creates object 2".
   logkeeping_.on_send_own_ref(process(newborn), creator);
+  mark_touched(creator);
   // The reference travels back to the creator as a normal mutator message.
   send_ref_transfer(site, site_of(creator), creator, newborn);
 }
@@ -110,12 +113,14 @@ void GgdEngine::create_object(ProcessId creator, ProcessId newborn,
 void GgdEngine::send_own_ref(ProcessId i, ProcessId j) {
   CGC_CHECK_MSG(!migrating(i), "mutator op on a process in hand-off");
   logkeeping_.on_send_own_ref(process(i), j);
+  mark_touched(i);
   send_ref_transfer(site_of(i), site_of(j), j, i);
 }
 
 void GgdEngine::send_third_party_ref(ProcessId i, ProcessId k, ProcessId j) {
   CGC_CHECK_MSG(!migrating(i), "mutator op on a process in hand-off");
   logkeeping_.on_send_third_party_ref(process(i), k, j);
+  mark_touched(i);
   send_ref_transfer(site_of(i), site_of(j), j, k);
 }
 
@@ -127,6 +132,8 @@ void GgdEngine::on_ref_transfer(const wire::RefTransfer& transfer) {
   // the previous edge: the net fact is again "recipient holds subject".
   pending_destructions_.erase({transfer.recipient, transfer.subject});
   logkeeping_.on_receive_ref(process(transfer.recipient), transfer.subject);
+  mark_touched(transfer.recipient);
+  mark_touched(transfer.subject);
   if (on_ref_delivered_) {
     on_ref_delivered_(transfer.recipient, transfer.subject);
   }
@@ -136,6 +143,8 @@ void GgdEngine::local_acquire(ProcessId j, ProcessId k) {
   CGC_CHECK_MSG(!migrating(j) && !migrating(k),
                 "local acquire touching a process in hand-off");
   logkeeping_.on_receive_ref(process(j), k);
+  mark_touched(j);
+  mark_touched(k);
   if (on_ref_delivered_) {
     on_ref_delivered_(j, k);
   }
@@ -154,6 +163,8 @@ void GgdEngine::local_acquire(ProcessId j, ProcessId k) {
 void GgdEngine::drop_ref(ProcessId j, ProcessId k) {
   CGC_CHECK_MSG(!migrating(j), "mutator op on a process in hand-off");
   GgdMessage msg = logkeeping_.on_drop_ref(process(j), k);
+  mark_touched(j);
+  mark_touched(k);
   pending_destructions_[{j, k}] = msg;
   if (journal_ != nullptr) {
     journal_->record(net_.simulator().now(), site_of(j),
@@ -286,6 +297,7 @@ void GgdEngine::on_migrate_state(const wire::MigrateState& ms) {
   // delivered bytes, which is what the codec round-trip tests pin down.
   proc.import_state(ms.snap);
   site_by_idx_[idx] = ms.dst;
+  mark_touched(ms.proc);
   in_transit_.erase(ms.proc);
   ++migration_stats_.completed;
   if (journal_ != nullptr) {
@@ -372,6 +384,7 @@ void GgdEngine::on_ggd_message(const GgdMessage& msg) {
     }
   }
   GgdProcess& target = process(msg.to);
+  mark_touched(msg.to);
   if (msg.inquiry) {
     // The hosting site answers inquiries; a collected target is answered
     // posthumously with its death certificate.
@@ -459,99 +472,226 @@ void GgdEngine::schedule_flush(ProcessId p) {
 }
 
 void GgdEngine::periodic_sweep() {
+  // One whole round through the scheduler. Under an unbounded budget a
+  // single slice runs the round start-to-finish in the historical order
+  // (the wire-trace goldens pin the byte identity); the loop only spins
+  // when a budgeted caller left a round mid-flight — the first slice then
+  // finishes that round and the contract "one call = reaching a round
+  // boundary" still holds.
+  while (!sweep_slice(sweep::kUnbounded)) {
+  }
+}
+
+bool GgdEngine::sweep_slice(std::uint64_t budget_units) {
+  using Phase = SweepCursor::Phase;
+  last_sweep_budget_ = budget_units;
+  sweep::Budget budget(budget_units);
   // Wall-clock pause span: only measured when observability is attached
-  // (a steady_clock read per sweep is cheap but not free, and unobserved
+  // (a steady_clock read per slice is cheap but not free, and unobserved
   // runs must stay untouched).
-  const SimTime sweep_at = net_.simulator().now();
   std::chrono::steady_clock::time_point wall_start;
   if (obs_attached_) {
     wall_start = std::chrono::steady_clock::now();
-    if (journal_ != nullptr) {
+  }
+  const SimTime sweep_at = net_.simulator().now();
+  if (sweep_cursor_.phase == Phase::kIdle) {
+    // Round prologue: runs once per round, in the first slice.
+    ++sweep_round_;
+    sweep_cursor_ = SweepCursor{};
+    sweep_cursor_.phase = Phase::kDestructions;
+    if (obs_attached_ && journal_ != nullptr) {
       journal_->record(sweep_at, SiteId{}, obs::EventKind::kSweepStart, {}, {},
                        pending_destructions_.size());
     }
+    flush_delay_.clear();
   }
-  flush_delay_.clear();
-  // Re-emit destruction messages that never arrived (lost packets): the
-  // deployed system's local collector keeps re-summarising dropped edges.
-  std::vector<GgdMessage> reemit;
-  for (auto it = pending_destructions_.begin();
-       it != pending_destructions_.end();) {
-    if (process(it->first.second).removed()) {
-      it = pending_destructions_.erase(it);
-    } else {
-      reemit.push_back(it->second);
+  ++sweep_cursor_.slices;
+  bool exhausted = false;
+
+  if (sweep_cursor_.phase == Phase::kDestructions) {
+    // Re-emit destruction messages that never arrived (lost packets): the
+    // deployed system's local collector keeps re-summarising dropped
+    // edges. Entries of collected targets are dropped instead.
+    std::vector<GgdMessage> reemit;
+    auto it = sweep_cursor_.have_destruction_key
+                  ? pending_destructions_.upper_bound(
+                        sweep_cursor_.destruction_key)
+                  : pending_destructions_.begin();
+    while (it != pending_destructions_.end()) {
+      if (!budget.take()) {
+        exhausted = true;
+        break;
+      }
+      sweep_cursor_.destruction_key = it->first;
+      sweep_cursor_.have_destruction_key = true;
+      if (process(it->first.second).removed()) {
+        it = pending_destructions_.erase(it);
+      } else {
+        reemit.push_back(it->second);
+        ++it;
+      }
+    }
+    if (metrics_.destructions_reemitted != nullptr) {
+      metrics_.destructions_reemitted->inc(reemit.size());
+    }
+    dispatch_all(std::move(reemit));
+    if (!exhausted) {
+      sweep_cursor_.phase = Phase::kStubs;
+    }
+  }
+
+  if (!exhausted && sweep_cursor_.phase == Phase::kStubs) {
+    // Reclaim forwarding stubs stale traffic will never expire: a
+    // collected mover needs no redirects, and an armed stub two sweep
+    // rounds old has outlived any packet the sweeps cannot re-emit.
+    auto it = sweep_cursor_.have_stub_key
+                  ? stubs_.upper_bound(sweep_cursor_.stub_key)
+                  : stubs_.begin();
+    while (it != stubs_.end()) {
+      if (!budget.take()) {
+        exhausted = true;
+        break;
+      }
+      sweep_cursor_.stub_key = it->first;
+      sweep_cursor_.have_stub_key = true;
+      if (process(it->first.second).removed() ||
+          (it->second.armed && ++it->second.sweeps_survived >= 2)) {
+        it = stubs_.erase(it);
+        if (metrics_.stubs_reclaimed != nullptr) {
+          metrics_.stubs_reclaimed->inc();
+        }
+      } else {
+        ++it;
+      }
+    }
+    if (!exhausted) {
+      sweep_cursor_.phase = Phase::kHandoffs;
+    }
+  }
+
+  if (!exhausted && sweep_cursor_.phase == Phase::kHandoffs) {
+    // Re-emit unacknowledged hand-off snapshots: a lost MigrateState
+    // would otherwise freeze the mover (and strand its held messages) for
+    // ever. The mover is frozen, so the stored copy is still
+    // authoritative; a re-emission racing the original is discarded by
+    // migration id.
+    auto it = sweep_cursor_.have_handoff_key
+                  ? pending_handoffs_.upper_bound(sweep_cursor_.handoff_key)
+                  : pending_handoffs_.begin();
+    while (it != pending_handoffs_.end()) {
+      if (!budget.take()) {
+        exhausted = true;
+        break;
+      }
+      sweep_cursor_.handoff_key = it->first;
+      sweep_cursor_.have_handoff_key = true;
+      ++migration_stats_.reemitted;
+      const wire::MigrateState& ms = it->second;
+      net_.send(ms.src, ms.dst,
+                wire::WireMessage{MessageKind::kMigration, ms});
       ++it;
     }
+    if (!exhausted) {
+      sweep_cursor_.phase = Phase::kScan;
+    }
   }
-  if (metrics_.destructions_reemitted != nullptr) {
-    metrics_.destructions_reemitted->inc(reemit.size());
-  }
-  dispatch_all(std::move(reemit));
-  // Reclaim forwarding stubs stale traffic will never expire: a collected
-  // mover needs no redirects, and an armed stub two sweep rounds old has
-  // outlived any packet the sweeps cannot re-emit.
-  for (auto it = stubs_.begin(); it != stubs_.end();) {
-    if (process(it->first.second).removed() ||
-        (it->second.armed && ++it->second.sweeps_survived >= 2)) {
-      it = stubs_.erase(it);
-      if (metrics_.stubs_reclaimed != nullptr) {
-        metrics_.stubs_reclaimed->inc();
+
+  if (!exhausted && sweep_cursor_.phase == Phase::kScan) {
+    auto it = sweep_cursor_.have_scan_key
+                  ? proc_order_.upper_bound(sweep_cursor_.scan_key)
+                  : proc_order_.begin();
+    while (it != proc_order_.end()) {
+      if (!budget.take()) {
+        exhausted = true;
+        break;
       }
-    } else {
+      const ProcessId id = *it;
       ++it;
-    }
-  }
-  // Re-emit unacknowledged hand-off snapshots: a lost MigrateState would
-  // otherwise freeze the mover (and strand its held messages) for ever.
-  // The mover is frozen, so the stored copy is still authoritative; a
-  // re-emission racing the original is discarded by migration id.
-  for (const auto& [id, ms] : pending_handoffs_) {
-    (void)id;
-    ++migration_stats_.reemitted;
-    net_.send(ms.src, ms.dst, wire::WireMessage{MessageKind::kMigration, ms});
-  }
-  std::uint64_t scanned = 0;
-  for (ProcessId id : proc_order_) {
-    GgdProcess& proc = procs_[index_of(id)];
-    if (proc.removed() || proc.is_root() || migrating(id)) {
-      continue;
-    }
-    ++scanned;
-    proc.reset_inquiry_gates();
-    proc.sync_sweep_round();
-    const bool was_removed = proc.removed();
-    std::vector<GgdMessage> out =
-        proc.decide([this](ProcessId p) { return root_flag(p); },
-                    /*allow_inquiry=*/true, net_.simulator().now());
-    observe_walk(proc, sweep_at);
-    if (!was_removed && proc.removed()) {
-      removed_.push_back(proc.id());
-      if (journal_ != nullptr) {
-        journal_->record(net_.simulator().now(), site_of(proc.id()),
-                         obs::EventKind::kReclaim, proc.id());
+      sweep_cursor_.scan_key = id;
+      sweep_cursor_.have_scan_key = true;
+      const std::uint32_t idx = index_of(id);
+      GgdProcess& proc = procs_[idx];
+      if (proc.removed() || proc.is_root() || migrating(id)) {
+        continue;
       }
-      if (on_removed_) {
-        on_removed_(proc.id());
+      // Generational skipping applies only under a finite budget: an
+      // unbounded round must scan everything (byte identity with the
+      // monolithic sweep), and does so cheaply anyway.
+      if (!budget.unbounded() && !generations_.eligible(idx, sweep_round_)) {
+        continue;
       }
+      ++sweep_cursor_.scanned;
+      proc.reset_inquiry_gates();
+      proc.sync_sweep_round();
+      const bool was_removed = proc.removed();
+      std::vector<GgdMessage> out =
+          proc.decide([this](ProcessId p) { return root_flag(p); },
+                      /*allow_inquiry=*/true, net_.simulator().now());
+      observe_walk(proc, sweep_at);
+      const bool now_removed = proc.removed();
+      if (!was_removed && now_removed) {
+        removed_.push_back(proc.id());
+        if (journal_ != nullptr) {
+          journal_->record(net_.simulator().now(), site_of(proc.id()),
+                           obs::EventKind::kReclaim, proc.id());
+        }
+        if (on_removed_) {
+          on_removed_(proc.id());
+        }
+      }
+      // Uneventful scans (no output, no removal) age the row toward a
+      // longer period; anything eventful re-marks it hot.
+      generations_.note_scanned(idx, sweep_round_,
+                                !out.empty() || now_removed);
+      dispatch_all(std::move(out));
+      schedule_flush(proc.id());
     }
-    dispatch_all(std::move(out));
-    schedule_flush(proc.id());
+    if (!exhausted) {
+      sweep_cursor_.phase = Phase::kIdle;  // round complete
+    }
   }
+
+  const bool round_complete = !exhausted;
   if (obs_attached_) {
-    const auto wall_us =
+    const auto wall_us = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - wall_start)
-            .count();
+            .count());
+    sweep_cursor_.round_wall_us += wall_us;
     if (metrics_.sweep_pause_us != nullptr) {
-      metrics_.sweep_pause_us->record(static_cast<std::uint64_t>(wall_us));
-      metrics_.sweep_scanned->record(scanned);
+      // The pause percentile now measures SLICES: what a caller actually
+      // blocks for per sweep_slice() call.
+      metrics_.sweep_pause_us->record(wall_us);
     }
-    if (journal_ != nullptr) {
-      journal_->record(sweep_at, SiteId{}, obs::EventKind::kSweepEnd, {}, {},
-                       static_cast<std::uint64_t>(wall_us));
+    if (round_complete) {
+      if (metrics_.sweep_scanned != nullptr) {
+        metrics_.sweep_scanned->record(sweep_cursor_.scanned);
+        metrics_.sweep_slices->record(sweep_cursor_.slices);
+      }
+      if (journal_ != nullptr) {
+        journal_->record(sweep_at, SiteId{}, obs::EventKind::kSweepEnd, {}, {},
+                         sweep_cursor_.round_wall_us);
+      }
     }
   }
+  return round_complete;
+}
+
+sweep::Backlog GgdEngine::sweep_backlog(ProcessId p) const {
+  sweep::Backlog b;
+  const std::uint32_t idx = ids_.index_of(p);
+  if (idx == IdInterner<ProcessId>::kNone) {
+    return b;
+  }
+  b.generation = generations_.generation(idx);
+  // Measured from the next round boundary: touched rows are due
+  // immediately, aged ones when their period next divides the round.
+  b.rounds_until_eligible =
+      generations_.rounds_until_eligible(idx, sweep_round_ + 1);
+  b.estimated_slices =
+      sweep::estimate_slices(proc_order_.size(), proc_order_.rank(p),
+                             b.rounds_until_eligible, last_sweep_budget_);
+  return b;
 }
 
 std::size_t GgdEngine::total_log_entries() const {

@@ -35,6 +35,7 @@
 #include "common/interner.hpp"
 #include "common/types.hpp"
 #include "ggd/process.hpp"
+#include "ggd/sweep.hpp"
 #include "logkeeping/lazy_logkeeping.hpp"
 #include "net/network.hpp"
 #include "obs/journal.hpp"
@@ -112,7 +113,31 @@ class GgdEngine : public wire::Mailbox {
   /// cost stays proportional to unresolved structures. Unacknowledged
   /// migration snapshots and undelivered destructions are re-emitted
   /// (loss costs latency, not comprehensiveness).
+  ///
+  /// Compatibility shim over the incremental scheduler: loops
+  /// `sweep_slice` with an unbounded budget, which executes exactly one
+  /// whole round in the historical order (wire-golden byte identity).
   void periodic_sweep();
+
+  /// Performs at most `budget` units of sweep work (one unit per table
+  /// entry visited: pending-destruction re-emissions, stub TTL checks,
+  /// hand-off re-sends, per-process row scans) and remembers where it
+  /// stopped. Returns true when this slice completed the round — the
+  /// next call starts a fresh one. Under a finite budget, generation
+  /// tags skip cold rows (recently-touched rows are scanned every round,
+  /// cold ones every 2^gen-th, capped at 8); an unbounded budget scans
+  /// everything in one slice, byte-identical to the monolithic sweep.
+  bool sweep_slice(std::uint64_t budget = sweep::kUnbounded);
+
+  /// Number of the sweep round in progress (or, between rounds, the last
+  /// completed one). Rounds are numbered from 1.
+  [[nodiscard]] std::uint64_t sweep_round() const { return sweep_round_; }
+
+  /// Where `p` stands in the sweep queue under the budget this engine
+  /// last swept with — generation, rounds until its generation comes up,
+  /// and an estimate of slices until the scan reaches it. `cgc-explain`
+  /// turns this into the `awaiting_sweep` backlog report.
+  [[nodiscard]] sweep::Backlog sweep_backlog(ProcessId p) const;
 
   // -- Migration (cross-site hand-off) ------------------------------------
 
@@ -249,6 +274,15 @@ class GgdEngine : public wire::Mailbox {
   [[nodiscard]] bool root_flag(ProcessId id) const {
     return root_by_idx_[index_of(id)] != 0;
   }
+  /// Re-marks `id` hot for the generational sweep scheduler: any mutator
+  /// operation or delivered message means its next decision may change,
+  /// so the next round must scan it regardless of generation.
+  void mark_touched(ProcessId id) {
+    const std::uint32_t idx = ids_.index_of(id);
+    if (idx != IdInterner<ProcessId>::kNone) {
+      generations_.touch(idx);
+    }
+  }
 
   Network& net_;
   LazyLogKeeping logkeeping_;
@@ -324,12 +358,46 @@ class GgdEngine : public wire::Mailbox {
   std::function<void(ProcessId)> on_removed_;
   std::function<void(ProcessId, ProcessId)> on_ref_delivered_;
 
+  // -- Sweep scheduler state ----------------------------------------------
+  /// Resumable position of the sweep round in progress. Cursors are the
+  /// last-visited *keys* (resumed via upper_bound), so the tables may
+  /// erase entries and reallocate between slices without invalidating the
+  /// round. kIdle means no round is open — the next slice starts one.
+  struct SweepCursor {
+    enum class Phase : std::uint8_t {
+      kIdle,
+      kDestructions,
+      kStubs,
+      kHandoffs,
+      kScan,
+    };
+    Phase phase = Phase::kIdle;
+    std::pair<ProcessId, ProcessId> destruction_key{};
+    bool have_destruction_key = false;
+    std::pair<SiteId, ProcessId> stub_key{};
+    bool have_stub_key = false;
+    std::uint64_t handoff_key = 0;
+    bool have_handoff_key = false;
+    ProcessId scan_key{};
+    bool have_scan_key = false;
+    std::uint64_t scanned = 0;        // processes decided this round
+    std::uint64_t slices = 0;         // slices this round has taken
+    std::uint64_t round_wall_us = 0;  // summed slice walls (obs only)
+  };
+  SweepCursor sweep_cursor_;
+  sweep::GenerationTable generations_;
+  std::uint64_t sweep_round_ = 0;
+  /// Budget of the most recent slice: what backlog estimates assume the
+  /// next rounds will run with.
+  std::uint64_t last_sweep_budget_ = sweep::kUnbounded;
+
   // -- Observability instruments (all null/zero when not attached) --------
   /// Cached registry instruments; looked up once in attach_obs so the
   /// sweep/walk hot paths never do a by-name lookup.
   struct DetectorMetrics {
     obs::TickHistogram* sweep_pause_us = nullptr;
     obs::TickHistogram* sweep_scanned = nullptr;
+    obs::TickHistogram* sweep_slices = nullptr;
     obs::TickHistogram* walk_consulted = nullptr;
     obs::TickHistogram* relay_rows = nullptr;
     obs::Counter* walks = nullptr;

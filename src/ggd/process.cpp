@@ -463,10 +463,13 @@ void GgdProcess::attach_sync(GgdMessage& msg, bool include_rows) {
     return;
   }
   // Delta selection: ship only rows whose revision is past what this
-  // destination has been sent. The sent frontier advances optimistically
-  // at build time; loss is recovered by the sweep's rollback (sent :=
-  // acked) and missing rows self-heal through the inquiry machinery
-  // anyway — a lost row costs latency, never a verdict.
+  // destination has been sent — i.e. past the per-peer watermark, plus
+  // any row the resync escape hatch forced back. The frontier advances
+  // optimistically at build time (watermark := revision counter: every
+  // row at or below it either ships right here or shipped before); loss
+  // is recovered by the sweep's rollback and missing rows self-heal
+  // through the inquiry machinery anyway — a lost row costs latency,
+  // never a verdict.
   auto& ps = peer_sync_[msg.to];
   for (const auto& [q, row] : known_rows_) {
     if (q == msg.to) {
@@ -475,18 +478,15 @@ void GgdProcess::attach_sync(GgdMessage& msg, bool include_rows) {
     auto rit = row_rev_.find(q);
     CGC_CHECK(rit != row_rev_.end());
     const std::uint64_t rev = rit->second;
-    auto sit = ps.sent.find(q);
-    if (sit != ps.sent.end() && sit->second >= rev) {
+    if (rev <= ps.sent_watermark && !ps.forced.contains(q)) {
       continue;
     }
     msg.rows.emplace(q, row);
     msg.row_revs.emplace(q, rev);
-    if (sit == ps.sent.end()) {
-      ps.sent.emplace(q, rev);
-    } else {
-      sit->second = rev;
-    }
+    ps.unacked[q] = rev;
+    ps.forced.erase(q);
   }
+  ps.sent_watermark = rev_counter_;
 }
 
 void GgdProcess::record_row_acks(const GgdMessage& msg) {
@@ -531,32 +531,26 @@ void GgdProcess::apply_row_acks(const GgdMessage& msg) {
   }
   auto& ps = peer_sync_[msg.from];
   for (const auto& [q, rev] : msg.row_acks) {
-    auto [ait, fresh_a] = ps.acked.emplace(q, rev);
-    if (!fresh_a && ait->second < rev) {
-      ait->second = rev;
+    auto uit = ps.unacked.find(q);
+    if (uit != ps.unacked.end() && uit->second <= rev) {
+      ps.unacked.erase(uit);
     }
     // An ack implies receipt even if our own optimistic send bookkeeping
-    // was rolled back meanwhile; lifting sent to the acked level avoids
-    // one spurious re-ship.
-    const std::uint64_t acked = ait->second;
-    auto [sit, fresh_s] = ps.sent.emplace(q, acked);
-    if (!fresh_s && sit->second < acked) {
-      sit->second = acked;
+    // was rolled back meanwhile; clearing the forced mark when the ack
+    // covers the row's current revision avoids one spurious re-ship (the
+    // old representation's sent := max(sent, acked) lift). A vanished row
+    // (death purge) has nothing left to re-ship either way.
+    auto rit = row_rev_.find(q);
+    if (rit == row_rev_.end() || rev >= rit->second) {
+      ps.forced.erase(q);
     }
   }
 }
 
 void GgdProcess::sync_sweep_round() {
   for (auto& [peer, ps] : peer_sync_) {
-    bool lagging = false;
-    for (const auto& [q, sent_rev] : ps.sent) {
-      auto ait = ps.acked.find(q);
-      if (ait == ps.acked.end() || ait->second < sent_rev) {
-        lagging = true;
-        break;
-      }
-    }
-    if (!lagging) {
+    if (ps.unacked.empty()) {
+      // Nothing shipped is awaiting confirmation: the peer is current.
       ps.stale_rounds = 0;
       continue;
     }
@@ -564,9 +558,14 @@ void GgdProcess::sync_sweep_round() {
       // Full-resync escape hatch: two consecutive sweeps without the
       // peer confirming everything sent — sustained loss, a migration
       // bounce that restarted its ack stream, or a one-way edge that
-      // never carries acks back. Roll the sent frontier back to the
-      // acked one; the next message to the peer re-ships the rest.
-      ps.sent = ps.acked;
+      // never carries acks back. Roll the unconfirmed rows back into the
+      // forced set; the next message to the peer re-ships exactly those
+      // (confirmed rows stay settled under the watermark).
+      for (const auto& [q, rev] : ps.unacked) {
+        (void)rev;
+        ps.forced.insert(q);
+      }
+      ps.unacked.clear();
       ps.stale_rounds = 0;
     }
   }

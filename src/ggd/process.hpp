@@ -354,19 +354,33 @@ class GgdProcess {
     auto it = row_rev_.find(q);
     return it == row_rev_.end() ? 0 : it->second;
   }
+  /// Effective sent frontier for (peer, q), reconstructed from the
+  /// watermark representation: the shipped-but-unconfirmed revision if
+  /// one is in flight, the row's revision when it sits under the
+  /// watermark (shipped and settled), and 0 for rolled-back (`forced`)
+  /// or never-shipped rows.
   [[nodiscard]] std::uint64_t peer_sent_rev(ProcessId peer,
                                             ProcessId q) const {
     auto it = peer_sync_.find(peer);
     if (it == peer_sync_.end()) return 0;
-    auto sit = it->second.sent.find(q);
-    return sit == it->second.sent.end() ? 0 : sit->second;
+    const PeerSync& ps = it->second;
+    if (ps.forced.contains(q)) return 0;
+    auto uit = ps.unacked.find(q);
+    if (uit != ps.unacked.end()) return uit->second;
+    const std::uint64_t rev = row_rev(q);
+    return rev != 0 && rev <= ps.sent_watermark ? rev : 0;
   }
+  /// Effective acked frontier for (peer, q): a row under the watermark
+  /// with nothing in flight and no forced re-ship is exactly a confirmed
+  /// one (acks erase the in-flight entry; rollback forces instead).
   [[nodiscard]] std::uint64_t peer_acked_rev(ProcessId peer,
                                              ProcessId q) const {
     auto it = peer_sync_.find(peer);
     if (it == peer_sync_.end()) return 0;
-    auto ait = it->second.acked.find(q);
-    return ait == it->second.acked.end() ? 0 : ait->second;
+    const PeerSync& ps = it->second;
+    if (ps.forced.contains(q) || ps.unacked.contains(q)) return 0;
+    const std::uint64_t rev = row_rev(q);
+    return rev != 0 && rev <= ps.sent_watermark ? rev : 0;
   }
   /// The full replica-row map (differential conformance compares the
   /// converged row state of delta vs whole-map runs).
@@ -413,12 +427,21 @@ class GgdProcess {
   /// older destruction marker would otherwise mask.
   void merge_edge_facts(const DependencyVector& facts, ProcessId skip);
 
-  /// Per-peer delta-sync bookkeeping: which of our row revisions the peer
-  /// has been sent (optimistic, advanced at build time) and which it has
-  /// acked (advanced only by epoch-valid ack echoes).
+  /// Per-peer delta-sync bookkeeping, watermark form. Row revisions are
+  /// globally monotone within this process (`bump_rev`), so "which rows
+  /// has this peer been sent" compresses from a per-row map to a single
+  /// watermark: every row revised at or below it has been shipped (the
+  /// attach loop ships ALL rows past the frontier, then advances the
+  /// watermark to the counter). The exceptions are small and transient:
+  /// `unacked` holds rows shipped but not yet ack-confirmed (erased as
+  /// ack echoes arrive), and `forced` holds rows the full-resync escape
+  /// hatch rolled back for re-shipping. The per-row `sent`/`acked` maps
+  /// this replaces grew to every-row-times-every-peer at steady state —
+  /// the delta relay's +43% peak-RSS bill at the large bench config.
   struct PeerSync {
-    FlatMap<ProcessId, std::uint64_t> sent;
-    FlatMap<ProcessId, std::uint64_t> acked;
+    std::uint64_t sent_watermark = 0;
+    FlatMap<ProcessId, std::uint64_t> unacked;
+    FlatSet<ProcessId> forced;
     std::uint8_t stale_rounds = 0;
   };
 

@@ -59,6 +59,27 @@ Explanation make(Explanation::Cause cause, std::string answer,
   return e;
 }
 
+/// Turns "wait for the next sweep" into a quantified promise: where the
+/// process stands in the budget-bounded sweep queue — its generation, how
+/// many rounds the generational filter defers it, and roughly how many
+/// slices until the scan actually reaches it under the engine's last
+/// budget.
+std::string backlog_note(const GgdEngine& engine, ProcessId x) {
+  const sweep::Backlog b = engine.sweep_backlog(x);
+  std::string note =
+      " (sweep backlog: generation " + std::to_string(b.generation) +
+      ", eligible ";
+  if (b.rounds_until_eligible == 0) {
+    note += "next round";
+  } else {
+    note += "in " + std::to_string(b.rounds_until_eligible + 1) + " rounds";
+  }
+  note += ", ~" + std::to_string(b.estimated_slices) +
+          (b.estimated_slices == 1 ? " slice" : " slices") +
+          " until its scan)";
+  return note;
+}
+
 }  // namespace
 
 Explanation explain_not_collected(const Journal& journal,
@@ -180,7 +201,8 @@ Explanation explain_not_collected(const Journal& journal,
         return make(Cause::kAwaitingSweep,
                     name + "'s newest walk still proves a path to a root "
                            "from replicated rows that ground truth says are "
-                           "stale; the next sweep re-verifies them",
+                           "stale; the next sweep re-verifies them" +
+                        backlog_note(engine, x),
                     journal, x, at);
       }
       return make(Cause::kBelievedReachable,
@@ -217,7 +239,8 @@ Explanation explain_not_collected(const Journal& journal,
                 name + "'s newest walk (tick " + std::to_string(walk_at) +
                     ") was " + verdict_word +
                     " with nothing in flight; only the next periodic sweep "
-                    "retries",
+                    "retries" +
+                    backlog_note(engine, x),
                 journal, x, at);
   }
 
@@ -225,7 +248,8 @@ Explanation explain_not_collected(const Journal& journal,
     return make(Cause::kAwaitingSweep,
                 "no sweep has run by tick " + std::to_string(at) +
                     " and no decision ever reached " + name +
-                    " — collection is starved until the first sweep",
+                    " — collection is starved until the first sweep" +
+                    backlog_note(engine, x),
                 journal, x, at);
   }
   return make(Cause::kNoEvidence,

@@ -241,7 +241,8 @@ void DistributedRuntime::collect_site(SiteId site_id) {
   }
 }
 
-void DistributedRuntime::collect_all(std::size_t rounds) {
+void DistributedRuntime::collect_all(std::size_t rounds,
+                                     std::uint64_t sweep_budget) {
   for (std::size_t r = 0; r < rounds; ++r) {
     // Progress is any reclaimed object OR any global root stripped by GGD
     // (which enables reclamation only in the *next* local sweep).
@@ -252,7 +253,12 @@ void DistributedRuntime::collect_all(std::size_t rounds) {
       collect_site(id);
     }
     run();
-    engine_.periodic_sweep();
+    // Slice the GGD sweep under the budget, draining the network between
+    // slices — the incremental-collector cadence. Unbounded budget makes
+    // this a single slice, i.e. the historical full sweep.
+    while (!engine_.sweep_slice(sweep_budget)) {
+      run();
+    }
     run();
     if (std::make_pair(total_objects(), engine_.removed().size()) == before) {
       break;

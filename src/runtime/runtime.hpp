@@ -79,7 +79,11 @@ class DistributedRuntime : public wire::Mailbox {
 
   /// Local GC on every site, then message quiescence, repeated until no
   /// site changes — the steady-state whole-system collection cycle.
-  void collect_all(std::size_t rounds = 8);
+  /// `sweep_budget` bounds each GGD sweep slice (work units per slice);
+  /// the network drains between slices, so a finite budget trades rounds
+  /// for bounded pauses without changing the fixpoint.
+  void collect_all(std::size_t rounds = 8,
+                   std::uint64_t sweep_budget = sweep::kUnbounded);
 
   /// Runs the simulator to quiescence.
   bool run(std::uint64_t max_events = 10'000'000) {

@@ -41,6 +41,7 @@ ThreadedRun run_threaded(const ScenarioSpec& spec,
                          const ThreadedConfig& cfg) {
   ThreadedRun run;
   run.num_sites = cfg.num_threads;
+  run.sweep_budget = cfg.sweep_budget;
   Placement placement(cfg.num_threads, ops);
   ThreadedTransport transport(cfg.num_threads);
   transport.set_fault_rates(spec.drop_rate, spec.duplicate_rate,
@@ -53,7 +54,8 @@ ThreadedRun run_threaded(const ScenarioSpec& spec,
   for (std::uint64_t s = 0; s < cfg.num_threads; ++s) {
     workers.push_back(std::make_unique<SiteWorker>(
         SiteId{s}, placement, LogKeepingMode::kRobust, transport, recorder,
-        ops, seeder.next(), cfg.coalesce_max_bytes, cfg.coalesce_max_ops));
+        ops, seeder.next(), cfg.coalesce_max_bytes, cfg.coalesce_max_ops,
+        cfg.sweep_budget));
   }
   std::vector<std::thread> threads;
   threads.reserve(cfg.num_threads);
@@ -102,7 +104,14 @@ ThreadedRun run_threaded(const ScenarioSpec& spec,
     // that only concludes in the next.
     std::size_t idle = 0;
     std::uint64_t removed_before = total_removed(workers);
-    for (std::size_t r = 0; r < cfg.sweep_rounds && idle < 2; ++r) {
+    // Under a finite budget the generational filter may defer a cold
+    // row's removal by up to a full period, so the idle window must
+    // outlast it or the fixpoint loop stops before completeness.
+    const std::size_t idle_limit =
+        cfg.sweep_budget == sweep::kUnbounded
+            ? 2
+            : 2 + static_cast<std::size_t>(sweep::GenerationTable::kMaxPeriod);
+    for (std::size_t r = 0; r < cfg.sweep_rounds && idle < idle_limit; ++r) {
       const bool had_pending = any_pending_destructions(workers);
       for (std::uint64_t s = 0; s < cfg.num_threads; ++s) {
         Envelope env;
@@ -204,7 +213,10 @@ struct ReplayCtx {
         break;
       }
       case Envelope::Kind::kSweep:
-        node.sweep();
+        // One slice per recorded envelope: the live worker's continuation
+        // envelopes appear as further kSweep records in the schedule, so
+        // replaying a slice per record reproduces the identical slicing.
+        (void)node.sweep_slice(run->sweep_budget);
         break;
       case Envelope::Kind::kStop:
         break;

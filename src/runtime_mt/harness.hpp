@@ -66,6 +66,11 @@ struct ThreadedConfig {
   /// reproduces the old flush-per-envelope behavior.
   std::uint64_t coalesce_max_bytes = 4'096;
   std::uint64_t coalesce_max_ops = 16;
+  /// Per-slice sweep budget (scheduler work units). Unbounded keeps one
+  /// kSweep envelope == one full round; a finite budget splits a round
+  /// into continuation envelopes the schedule records, so the replay
+  /// re-executes the identical slicing.
+  std::uint64_t sweep_budget = sweep::kUnbounded;
 };
 
 struct ThreadedRun {
@@ -84,6 +89,9 @@ struct ThreadedRun {
   std::size_t skipped_ops = 0;
   std::uint64_t envelopes = 0;
   MessageStats stats;
+  /// The budget the live workers sliced with — the replay must use the
+  /// same value for its per-record sweep_slice calls.
+  std::uint64_t sweep_budget = sweep::kUnbounded;
   /// Watchdog / envelope-cap trips. Empty on a healthy run.
   std::vector<std::string> failures;
 

@@ -19,6 +19,7 @@ void SiteNode::register_process(ProcessId id, bool is_root) {
   CGC_CHECK(idx == procs_.size());
   procs_.emplace_back(id, is_root);
   proc_order_.insert(id);
+  generations_.add();  // newborns start hot
 }
 
 bool SiteNode::holds(ProcessId holder, ProcessId target) const {
@@ -53,6 +54,7 @@ bool SiteNode::apply(const MutatorOp& op) {
       if (op.a == op.b || !local_live(op.a)) {
         return false;
       }
+      mark_touched(op.a);
       logkeeping_.on_send_own_ref(process(op.a), op.b);
       send_ref_transfer(op.b, op.a);
       return true;
@@ -61,6 +63,7 @@ bool SiteNode::apply(const MutatorOp& op) {
           !holds(op.forwarder(), op.subject())) {
         return false;
       }
+      mark_touched(op.forwarder());
       logkeeping_.on_send_third_party_ref(process(op.forwarder()),
                                           op.subject(), op.recipient());
       send_ref_transfer(op.recipient(), op.subject());
@@ -69,6 +72,8 @@ bool SiteNode::apply(const MutatorOp& op) {
       if (!local_live(op.a) || !holds(op.a, op.b)) {
         return false;
       }
+      mark_touched(op.a);
+      mark_touched(op.b);
       held_[op.a].erase(op.b);
       GgdMessage msg = logkeeping_.on_drop_ref(process(op.a), op.b);
       pending_destructions_[{op.a, op.b}] = msg;
@@ -153,6 +158,7 @@ void SiteNode::on_ref_transfer(const wire::RefTransfer& transfer) {
   // recipient's site, so the per-site split keeps this path intact.
   pending_destructions_.erase({transfer.recipient, transfer.subject});
   held_[transfer.recipient].insert(transfer.subject);
+  mark_touched(transfer.recipient);
   logkeeping_.on_receive_ref(process(transfer.recipient), transfer.subject);
   if (on_ref_delivered_) {
     on_ref_delivered_(transfer.recipient, transfer.subject);
@@ -166,6 +172,7 @@ void SiteNode::on_ggd_message(const GgdMessage& msg) {
     pending_destructions_.erase({msg.from, msg.to});
   }
   GgdProcess& target = process(msg.to);
+  mark_touched(msg.to);
   if (msg.inquiry) {
     // Inquiries bypass receive(); apply their frontier acks explicitly
     // (same as GgdEngine::on_ggd_message).
@@ -199,35 +206,88 @@ void SiteNode::note_removed(ProcessId p) {
 }
 
 void SiteNode::sweep() {
-  ++clock_;
-  std::vector<GgdMessage> reemit;
-  for (auto it = pending_destructions_.begin();
-       it != pending_destructions_.end();) {
-    const ProcessId target = it->first.second;
-    const std::uint32_t idx = ids_.index_of(target);
-    if (idx != IdInterner<ProcessId>::kNone && procs_[idx].removed()) {
-      it = pending_destructions_.erase(it);
-    } else {
-      reemit.push_back(it->second);
+  while (!sweep_slice(sweep::kUnbounded)) {
+  }
+}
+
+bool SiteNode::sweep_slice(std::uint64_t budget_units) {
+  sweep::Budget budget(budget_units);
+  ++clock_;  // each slice is one consumed input
+  SweepCursor& cur = sweep_cursor_;
+  if (cur.phase == SweepCursor::Phase::kIdle) {
+    ++sweep_round_;
+    cur.phase = SweepCursor::Phase::kDestructions;
+    cur.have_destruction_key = false;
+    cur.have_scan_key = false;
+  }
+  bool exhausted = false;
+  if (cur.phase == SweepCursor::Phase::kDestructions) {
+    std::vector<GgdMessage> reemit;
+    auto it = cur.have_destruction_key
+                  ? pending_destructions_.upper_bound(cur.destruction_key)
+                  : pending_destructions_.begin();
+    while (it != pending_destructions_.end()) {
+      if (!budget.take()) {
+        exhausted = true;
+        break;
+      }
+      cur.destruction_key = it->first;
+      cur.have_destruction_key = true;
+      const ProcessId target = it->first.second;
+      const std::uint32_t idx = ids_.index_of(target);
+      if (idx != IdInterner<ProcessId>::kNone && procs_[idx].removed()) {
+        it = pending_destructions_.erase(it);
+      } else {
+        reemit.push_back(it->second);
+        ++it;
+      }
+    }
+    dispatch_all(std::move(reemit));
+    if (!exhausted) {
+      cur.phase = SweepCursor::Phase::kScan;
+    }
+  }
+  if (!exhausted && cur.phase == SweepCursor::Phase::kScan) {
+    auto it = cur.have_scan_key ? proc_order_.upper_bound(cur.scan_key)
+                                : proc_order_.begin();
+    while (it != proc_order_.end()) {
+      if (!budget.take()) {
+        exhausted = true;
+        break;
+      }
+      const ProcessId id = *it;
       ++it;
+      cur.scan_key = id;
+      cur.have_scan_key = true;
+      const std::uint32_t idx = ids_.index_of(id);
+      GgdProcess& proc = procs_[idx];
+      if (proc.removed() || proc.is_root()) {
+        continue;
+      }
+      // Generational skip only under a finite budget: the unbounded path
+      // must stay byte-identical to the historical full scan.
+      if (!budget.unbounded() && !generations_.eligible(idx, sweep_round_)) {
+        continue;
+      }
+      proc.reset_inquiry_gates();
+      proc.sync_sweep_round();
+      std::vector<GgdMessage> out =
+          proc.decide(is_root_fn_, /*allow_inquiry=*/true, clock_);
+      const bool now_removed = proc.removed();
+      if (now_removed) {
+        note_removed(id);
+      }
+      generations_.note_scanned(idx, sweep_round_,
+                                !out.empty() || now_removed);
+      dispatch_all(std::move(out));
+      flush(id);
     }
   }
-  dispatch_all(std::move(reemit));
-  for (ProcessId id : proc_order_) {
-    GgdProcess& proc = procs_[ids_.index_of(id)];
-    if (proc.removed() || proc.is_root()) {
-      continue;
-    }
-    proc.reset_inquiry_gates();
-    proc.sync_sweep_round();
-    std::vector<GgdMessage> out =
-        proc.decide(is_root_fn_, /*allow_inquiry=*/true, clock_);
-    if (proc.removed()) {
-      note_removed(id);
-    }
-    dispatch_all(std::move(out));
-    flush(id);
+  if (exhausted) {
+    return false;
   }
+  cur.phase = SweepCursor::Phase::kIdle;
+  return true;
 }
 
 }  // namespace cgc::runtime_mt

@@ -44,6 +44,7 @@
 #include "common/flat_map.hpp"
 #include "common/interner.hpp"
 #include "common/types.hpp"
+#include "ggd/sweep.hpp"
 #include "logkeeping/lazy_logkeeping.hpp"
 #include "metrics/message_stats.hpp"
 #include "runtime_mt/placement.hpp"
@@ -88,8 +89,15 @@ class SiteNode {
 
   /// One periodic-sweep round over this site's processes: re-emit owed
   /// destructions, then re-run every live non-root garbage decision with
-  /// inquiry gates reset.
+  /// inquiry gates reset. Compat shim: loops unbounded slices.
   void sweep();
+
+  /// One budget-bounded sweep slice (the engine's scheduler, per site).
+  /// Returns true when the slice completed the current round. Each slice
+  /// is one consumed input — the worker re-enqueues a kSweep envelope for
+  /// an unfinished round, so slice boundaries land in the recorded
+  /// schedule and the replay re-executes the identical slicing.
+  bool sweep_slice(std::uint64_t budget_units = sweep::kUnbounded);
 
   // -- Post-run reads (worker-thread-owned until joined) -------------------
 
@@ -130,6 +138,13 @@ class SiteNode {
   void on_ref_transfer(const wire::RefTransfer& transfer);
   void on_ggd_message(const GgdMessage& msg);
   void note_removed(ProcessId p);
+  /// Resets a hosted process's generation to hot (no-op for remote ids).
+  void mark_touched(ProcessId id) {
+    const std::uint32_t idx = ids_.index_of(id);
+    if (idx != IdInterner<ProcessId>::kNone) {
+      generations_.touch(idx);
+    }
+  }
 
   SiteId site_;
   const Placement& placement_;
@@ -155,6 +170,19 @@ class SiteNode {
   /// Site-prefixed so ids are globally unique without a shared counter.
   std::uint64_t transfer_counter_ = 0;
   DenseSet<std::uint64_t> applied_transfers_;
+  /// Budget-bounded sweep state: where an exhausted slice resumes. Keys,
+  /// not iterators — they survive the inserts/erases between slices.
+  struct SweepCursor {
+    enum class Phase : std::uint8_t { kIdle, kDestructions, kScan };
+    Phase phase = Phase::kIdle;
+    std::pair<ProcessId, ProcessId> destruction_key{};
+    bool have_destruction_key = false;
+    ProcessId scan_key{};
+    bool have_scan_key = false;
+  };
+  SweepCursor sweep_cursor_;
+  sweep::GenerationTable generations_;
+  std::uint64_t sweep_round_ = 0;
   /// Logical time: one tick per consumed input. Monotone per site, which
   /// is all GgdProcess's confirm-time gating needs.
   std::uint64_t clock_ = 0;

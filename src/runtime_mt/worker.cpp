@@ -10,7 +10,8 @@ SiteWorker::SiteWorker(SiteId site, const Placement& placement,
                        const std::vector<MutatorOp>& ops,
                        std::uint64_t rng_seed,
                        std::uint64_t coalesce_max_bytes,
-                       std::uint64_t coalesce_max_ops)
+                       std::uint64_t coalesce_max_ops,
+                       std::uint64_t sweep_budget)
     : site_(site),
       transport_(transport),
       recorder_(rec),
@@ -19,7 +20,8 @@ SiteWorker::SiteWorker(SiteId site, const Placement& placement,
       assembler_(site),
       rng_(rng_seed),
       coalesce_max_bytes_(coalesce_max_bytes),
-      coalesce_max_ops_(coalesce_max_ops) {
+      coalesce_max_ops_(coalesce_max_ops),
+      sweep_budget_(sweep_budget) {
   node_.set_sender([this](SiteId to, const wire::WireMessage& msg) {
     const std::size_t framed = assembler_.add(to, msg);
     deferred_bytes_ += framed;
@@ -77,7 +79,17 @@ void SiteWorker::process(const Envelope& env, std::uint64_t seq) {
       node_.deliver_packet(*env.bytes);
       break;
     case Envelope::Kind::kSweep:
-      node_.sweep();
+      // One budget-bounded slice per envelope. An unfinished round pushes
+      // a counted continuation to this site's own mailbox, so other
+      // envelopes (packets, ops) interleave between slices and the
+      // driver's quiescence wait still spans the whole round. The
+      // continuation is consumed and logged like any input, which is how
+      // slice boundaries land in the replayable schedule.
+      if (!node_.sweep_slice(sweep_budget_)) {
+        Envelope cont;
+        cont.kind = Envelope::Kind::kSweep;
+        transport_.push_counted(site_, std::move(cont));
+      }
       break;
     case Envelope::Kind::kStop:
       CGC_CHECK_MSG(false, "kStop reached process()");

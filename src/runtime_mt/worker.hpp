@@ -63,7 +63,8 @@ class SiteWorker {
   SiteWorker(SiteId site, const Placement& placement, LogKeepingMode mode,
              ThreadedTransport& transport, wire::ConcurrentTraceRecorder& rec,
              const std::vector<MutatorOp>& ops, std::uint64_t rng_seed,
-             std::uint64_t coalesce_max_bytes, std::uint64_t coalesce_max_ops);
+             std::uint64_t coalesce_max_bytes, std::uint64_t coalesce_max_ops,
+             std::uint64_t sweep_budget = sweep::kUnbounded);
 
   /// Thread body: runs until the kStop sentinel.
   void run();
@@ -104,6 +105,11 @@ class SiteWorker {
   };
   std::optional<Parked> pocket_;
   std::uint64_t processed_ = 0;
+  /// Per-slice sweep budget (units of scheduler work). An unfinished
+  /// round re-enqueues a counted kSweep envelope to this site, so the
+  /// worker interleaves envelope drains between slices and quiescence
+  /// still covers the whole round.
+  std::uint64_t sweep_budget_;
   // -- Outbound coalescing state --------------------------------------------
   std::uint64_t coalesce_max_bytes_;
   std::uint64_t coalesce_max_ops_;

@@ -208,6 +208,40 @@ class Scenario {
     return true;
   }
 
+  /// `run_with_sweeps` under a finite sweep budget: each round is a chain
+  /// of `sweep_slice(budget)` calls with the network drained between
+  /// slices — the deployed cadence of an incremental collector. The idle
+  /// window is stretched past the generation table's longest period so a
+  /// cold row's deferred removal still counts as progress before the loop
+  /// concludes it is at fixpoint.
+  bool run_with_budgeted_sweeps(std::uint64_t budget, std::size_t rounds = 48,
+                                std::uint64_t max_events = 10'000'000) {
+    if (!sim_.run(max_events)) {
+      return false;
+    }
+    const std::size_t idle_limit =
+        budget == sweep::kUnbounded
+            ? 2
+            : 2 + static_cast<std::size_t>(sweep::GenerationTable::kMaxPeriod);
+    std::size_t idle_rounds = 0;
+    for (std::size_t r = 0; r < rounds && idle_rounds < idle_limit; ++r) {
+      const std::size_t before = removed_.size();
+      const bool had_pending = engine_.pending_destruction_count() > 0 ||
+                               engine_.pending_handoff_count() > 0;
+      while (!engine_.sweep_slice(budget)) {
+        if (!sim_.run(max_events)) {
+          return false;
+        }
+      }
+      if (!sim_.run(max_events)) {
+        return false;
+      }
+      const bool progressed = removed_.size() != before || had_pending;
+      idle_rounds = progressed ? 0 : idle_rounds + 1;
+    }
+    return true;
+  }
+
   // -- Oracle -------------------------------------------------------------
 
   [[nodiscard]] bool holds(ProcessId holder, ProcessId target) const {
