@@ -75,6 +75,15 @@ struct ScaleResult {
   std::uint64_t packets = 0;
   std::uint64_t log_entries = 0;
   std::optional<std::uint64_t> peak_rss_kb;
+  /// Resident set right after build-up (population at target, churn not
+  /// yet started): the steady-state footprint of just *holding* the
+  /// process tables, separated from the churn-driven peak above it.
+  std::optional<std::uint64_t> rss_after_build_kb;
+  /// Engine pool footprint at end of run: arena bytes held vs bytes in
+  /// live allocations (the gap is free-list + bump slack). Diagnostic
+  /// only — stdout, not JSON.
+  std::uint64_t pool_reserved_kb = 0;
+  std::uint64_t pool_live_kb = 0;
   GgdEngine::MigrationStats migration;
   std::uint64_t migration_bytes = 0;
   obs::TickHistogram latency;      // unreachable→reclaimed, sim ticks
@@ -111,13 +120,31 @@ std::optional<std::uint64_t> peak_rss_kb() {
   return std::nullopt;
 }
 
+/// Current resident set in kB (VmRSS — the live figure, not the VmHWM
+/// high-water mark peak_rss_kb() reads); nullopt off-Linux.
+std::optional<std::uint64_t> current_rss_kb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      std::istringstream ss(line.substr(6));
+      std::uint64_t kb = 0;
+      if (ss >> kb) {
+        return kb;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 /// The mutator model: processes cluster under the root of their cohort;
 /// churn keeps creating short-lived structures (including cycles) and
 /// severing them, so the engine collects continuously while the
 /// population stays near the target.
 ScaleResult run_scale(const ScaleConfig& cfg,
                       RelayPolicy policy = RelayPolicy::kDelta) {
-  Simulator sim;
+  Pool sim_pool;  // backs the event heap; declared first to outlive it
+  Simulator sim(&sim_pool);
   Network net(sim, NetworkConfig{.min_latency = 1,
                                  .max_latency = 3,
                                  .drop_rate = 0,
@@ -233,6 +260,8 @@ ScaleResult run_scale(const ScaleConfig& cfg,
     }
   }
   sim.run();
+  // Post-population, pre-churn: what the tables cost at rest.
+  const std::optional<std::uint64_t> rss_after_build = current_rss_kb();
 
   // Sustained churn: create / cross-link (cycles included) / sever whole
   // branches — plus cross-site hand-offs when the migration knob is on;
@@ -356,6 +385,9 @@ ScaleResult run_scale(const ScaleConfig& cfg,
   res.packets = net.stats().packets().sent;
   res.log_entries = eng.total_log_entries();
   res.peak_rss_kb = peak_rss_kb();
+  res.rss_after_build_kb = rss_after_build;
+  res.pool_reserved_kb = eng.pool().bytes_reserved() / 1024;
+  res.pool_live_kb = eng.pool().bytes_live() / 1024;
   res.migration = eng.migration_stats();
   res.migration_bytes = net.stats().of(MessageKind::kMigration).bytes_sent;
   res.latency = latency;
@@ -477,6 +509,10 @@ void emit(const std::string& path, const std::vector<ScaleResult>& results,
       json.key("peak_rss_kb");
       json.value(*r.peak_rss_kb);
     }
+    if (r.rss_after_build_kb.has_value()) {
+      json.key("rss_after_build_kb");
+      json.value(*r.rss_after_build_kb);
+    }
     if (r.cfg.migrate_pct > 0) {
       json.key("migrate_pct");
       json.value(r.cfg.migrate_pct);
@@ -525,6 +561,10 @@ int main(int argc, char** argv) {
   // future regression of it) can be measured head-to-head on demand.
   RelayPolicy policy = RelayPolicy::kDelta;
   std::uint64_t threads = 4;
+  // `--config NAME` runs a single rung (and skips the threaded slice):
+  // the memory-diet workflow measures one config's RSS without the
+  // VmHWM high-water mark being set by an earlier, different rung.
+  std::string only_config;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
@@ -536,6 +576,8 @@ int main(int argc, char** argv) {
       if (threads == 0) {
         threads = 1;
       }
+    } else if (std::strcmp(argv[i], "--config") == 0 && i + 1 < argc) {
+      only_config = argv[++i];
     }
   }
 
@@ -550,6 +592,12 @@ int main(int argc, char** argv) {
     configs.push_back({"medium", 64, 128, 5'000, 20'000});
     configs.push_back({"medium_migrate", 64, 128, 5'000, 20'000, 8});
     configs.push_back({"large", 256, 512, 20'000, 60'000});
+    // The rung the memory diet unlocks: 5x the large population. Churn is
+    // kept modest — the point of this rung is holding (and sweeping) a
+    // 100k-process table, not maximum op throughput — and it runs on the
+    // single-threaded simulator only (the threaded slice stays pinned at
+    // its own 1k-op budget below).
+    configs.push_back({"huge", 512, 1024, 100'000, 20'000});
   }
 
   std::cout << "scale tier: dense-core engine under sustained churn";
@@ -559,6 +607,9 @@ int main(int argc, char** argv) {
   std::cout << '\n';
   std::vector<ScaleResult> results;
   for (const ScaleConfig& cfg : configs) {
+    if (!only_config.empty() && cfg.name != only_config) {
+      continue;
+    }
     ScaleResult r = run_scale(cfg, policy);
     std::cout << cfg.name << ": sites=" << cfg.sites
               << " procs=" << cfg.processes << " churn=" << cfg.churn_ops
@@ -575,6 +626,11 @@ int main(int argc, char** argv) {
     if (r.peak_rss_kb.has_value()) {
       std::cout << " peak_rss_kb=" << *r.peak_rss_kb;
     }
+    if (r.rss_after_build_kb.has_value()) {
+      std::cout << " rss_after_build_kb=" << *r.rss_after_build_kb;
+    }
+    std::cout << " pool_reserved_kb=" << r.pool_reserved_kb
+              << " pool_live_kb=" << r.pool_live_kb;
     if (cfg.migrate_pct > 0) {
       std::cout << " handoffs=" << r.migration.completed
                 << " redirects=" << r.migration.forwarded
@@ -590,13 +646,17 @@ int main(int argc, char** argv) {
   // 1k-op workload affordable here. Don't push past ~1k: per-envelope
   // cost scales with the live population, so 2k ops is not 2x but >10x
   // the wall clock and blows any sane watchdog on a one-core runner.
-  const ThreadedBenchResult threaded = run_threaded_bench(threads, 1'000);
+  const ThreadedBenchResult threaded =
+      only_config.empty() ? run_threaded_bench(threads, 1'000)
+                          : ThreadedBenchResult{};
   std::cout << "threaded: threads=" << threaded.threads
             << " ops=" << threaded.ops << " envelopes=" << threaded.envelopes
             << " wall_ms=" << static_cast<std::uint64_t>(threaded.wall_ms)
             << " envelopes/s="
             << static_cast<std::uint64_t>(threaded.envelopes_per_sec)
             << " reclaimed=" << threaded.reclaimed << '\n';
-  emit("BENCH_scale.json", results, threaded);
+  if (only_config.empty()) {
+    emit("BENCH_scale.json", results, threaded);
+  }
   return 0;
 }

@@ -29,13 +29,16 @@ done
 # The scale tier additionally carries the threaded-runtime throughput
 # number (mailbox envelopes/sec through the worker threads), the
 # delta-relay cost curve (GGD control bytes per reclaimed process —
-# the number the per-peer sync state exists to flatten), and the
+# the number the per-peer sync state exists to flatten), the
 # incremental-sweep shape (pause ceiling in µs plus how many budget
 # slices a round splits into — the numbers the sweep scheduler exists
-# to bound).
+# to bound), and the memory-diet footprint pair (peak RSS over the whole
+# run, and RSS right after build-up — what holding the tables costs at
+# rest, before churn).
 if [ -f "$dir/BENCH_scale.json" ]; then
   for field in threaded_events_per_sec control_bytes_per_reclaimed \
-               sweep_pause_p99_us sweep_slices_per_round; do
+               sweep_pause_p99_us sweep_slices_per_round \
+               peak_rss_kb rss_after_build_kb; do
     if ! grep -q "\"$field\"" "$dir/BENCH_scale.json"; then
       echo "MISSING FIELD: BENCH_scale.json lacks \"$field\"" >&2
       status=1

@@ -10,6 +10,8 @@
 #   * sweep_pause_p99_us          (sweep pause ceiling — fresh must be
 #                                  <= 125% of base; wall-clock, so the
 #                                  margin is wider than the byte gates)
+#   * peak_rss_kb                 (memory footprint — fresh must be <=
+#                                  115% of base; the memory-diet gate)
 #
 # plus the threaded runtime's threaded_events_per_sec (>= 85% of base).
 #
@@ -91,6 +93,11 @@ for name, b_cfg in base.get("configs", {}).items():
           f_cfg.get("sweep_pause_p99_us", f_cfg.get("sweep_pause_p99")),
           b_cfg.get("sweep_pause_p99_us", b_cfg.get("sweep_pause_p99")),
           "pause")
+    # Memory is the axis the arena/SoA diet exists to hold down. RSS is a
+    # process-wide high-water mark, so the same cost ceiling doubles as
+    # the allocator-regression tripwire.
+    check(name, "peak_rss_kb", f_cfg.get("peak_rss_kb"),
+          b_cfg.get("peak_rss_kb"), "cost")
 
 check("threaded", "threaded_events_per_sec",
       fresh.get("threaded", {}).get("threaded_events_per_sec"),

@@ -63,9 +63,14 @@ class FlatMap {
   [[nodiscard]] const_iterator end() const { return entries_.end(); }
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return entries_.capacity(); }
   [[nodiscard]] bool empty() const { return entries_.empty(); }
   void clear() { entries_.clear(); }
   void reserve(std::size_t n) { entries_.reserve(n); }
+  /// Drops capacity slack (memory diet for long-lived maps).
+  void shrink_to_fit() { entries_.shrink_to_fit(); }
+  /// clear() that actually returns the backing storage.
+  void release() { std::vector<value_type>().swap(entries_); }
 
   [[nodiscard]] iterator lower_bound(const K& key) {
     if (entries_.size() <= kFlatLinearScanMax) {
@@ -227,9 +232,14 @@ class FlatSet {
   [[nodiscard]] const_iterator end() const { return keys_.end(); }
 
   [[nodiscard]] std::size_t size() const { return keys_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return keys_.capacity(); }
   [[nodiscard]] bool empty() const { return keys_.empty(); }
   void clear() { keys_.clear(); }
   void reserve(std::size_t n) { keys_.reserve(n); }
+  /// Drops capacity slack (memory diet for long-lived sets).
+  void shrink_to_fit() { keys_.shrink_to_fit(); }
+  /// clear() that actually returns the backing storage.
+  void release() { std::vector<K>().swap(keys_); }
 
   [[nodiscard]] bool contains(const K& key) const {
     auto it = lower(key);

@@ -5,12 +5,20 @@
 #include <variant>
 
 namespace cgc {
+namespace {
+
+/// Sweep rounds between capacity-trim passes over the live population
+/// (GgdProcess::trim_storage). Wire-passive at any value; the throttle
+/// only balances memcpy cost against capacity-slack accumulation.
+constexpr std::uint64_t kTrimEveryRounds = 4;
+
+}  // namespace
 
 GgdProcess& GgdEngine::add_process(ProcessId id, SiteId site, bool is_root) {
   CGC_CHECK_MSG(!ids_.knows(id), "duplicate process id");
   const std::uint32_t idx = ids_.intern(id);
   CGC_CHECK(idx == procs_.size());
-  procs_.emplace_back(id, is_root);
+  procs_.emplace_back(id, is_root, &pool_);
   site_by_idx_.push_back(site);
   root_by_idx_.push_back(is_root ? 1 : 0);
   generations_.add();  // newborns start hot: scanned by the next round
@@ -424,6 +432,7 @@ void GgdEngine::on_ggd_message(const GgdMessage& msg) {
   observe_walk(target, net_.simulator().now());
   if (!was_removed && target.removed()) {
     removed_.push_back(msg.to);
+    target.retire_tombstone();
     if (journal_ != nullptr) {
       journal_->record(net_.simulator().now(), site_of(msg.to),
                        obs::EventKind::kReclaim, msg.to);
@@ -631,6 +640,7 @@ bool GgdEngine::sweep_slice(std::uint64_t budget_units) {
       const bool now_removed = proc.removed();
       if (!was_removed && now_removed) {
         removed_.push_back(proc.id());
+        proc.retire_tombstone();
         if (journal_ != nullptr) {
           journal_->record(net_.simulator().now(), site_of(proc.id()),
                            obs::EventKind::kReclaim, proc.id());
@@ -643,6 +653,13 @@ bool GgdEngine::sweep_slice(std::uint64_t budget_units) {
       // longer period; anything eventful re-marks it hot.
       generations_.note_scanned(idx, sweep_round_,
                                 !out.empty() || now_removed);
+      // Periodic capacity diet, amortized over the scan so each budget
+      // slice pays only for the processes it visits (a whole-population
+      // trim at round end would put one giant memcpy in a single pause).
+      // Content (and therefore the wire trace) is untouched.
+      if (!now_removed && sweep_round_ % kTrimEveryRounds == 0) {
+        proc.trim_storage();
+      }
       dispatch_all(std::move(out));
       schedule_flush(proc.id());
     }

@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/assert.hpp"
 #include "common/dense_map.hpp"
 #include "common/flat_map.hpp"
@@ -212,6 +213,33 @@ class GgdEngine : public wire::Mailbox {
   /// Total DV-log entries across live processes (space metric, T6).
   [[nodiscard]] std::size_t total_log_entries() const;
 
+  /// The engine-owned pool backing every hosted process's tables
+  /// (footprint introspection for benches and metrics).
+  [[nodiscard]] const Pool& pool() const { return pool_; }
+
+  /// Byte attribution of all hosted process state, split live vs
+  /// tombstone (removed processes are kept for posthumous answers; this
+  /// is how much that courtesy costs).
+  struct EngineFootprint {
+    GgdProcess::StorageFootprint live;
+    GgdProcess::StorageFootprint tombstone;
+    std::size_t live_count = 0;
+    std::size_t tombstone_count = 0;
+  };
+  [[nodiscard]] EngineFootprint storage_footprint() const {
+    EngineFootprint out;
+    for (const GgdProcess& p : procs_) {
+      if (p.removed()) {
+        out.tombstone += p.storage_footprint();
+        ++out.tombstone_count;
+      } else {
+        out.live += p.storage_footprint();
+        ++out.live_count;
+      }
+    }
+    return out;
+  }
+
   /// Destruction messages still owed a first delivery (the sweep re-emits
   /// these; a non-zero count means the next sweep has recovery work).
   [[nodiscard]] std::size_t pending_destruction_count() const {
@@ -286,6 +314,10 @@ class GgdEngine : public wire::Mailbox {
 
   Network& net_;
   LazyLogKeeping logkeeping_;
+  /// Bulk-owned memory for every hosted process's log and replica tables.
+  /// Declared before `procs_` on purpose: members destroy in reverse
+  /// order, so the processes release their rows before the pool dies.
+  Pool pool_;
   /// Interned process table: `ids_` assigns the dense index, the deque
   /// (stable addresses) holds the process objects, and the two parallel
   /// vectors answer the walk's site/root queries in O(1).

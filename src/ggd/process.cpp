@@ -1,6 +1,8 @@
 #include "ggd/process.hpp"
 
 #include <algorithm>
+#include <type_traits>
+#include <utility>
 
 #include "common/assert.hpp"
 
@@ -15,25 +17,34 @@ namespace {
 /// actually changed, which is what drives the delta-relay revision stamp:
 /// the subject's counter alone cannot be the version because an
 /// equal-index merge can change content without advancing it.
-bool adopt_row(FlatMap<ProcessId, DependencyVector>& rows, ProcessId subject,
+bool adopt_row(RowTable& rows, ProcessId subject,
                const DependencyVector& row) {
-  auto it = rows.find(subject);
-  if (it == rows.end()) {
-    rows.emplace(subject, row);
+  if (!rows.contains(subject)) {
+    rows.row(subject) = row;
     return true;
   }
-  const std::uint64_t stored = it->second.get(subject).index();
+  RowTable::RowRef stored_row = rows.row(subject);
+  const std::uint64_t stored = stored_row.get(subject).index();
   const std::uint64_t incoming = row.get(subject).index();
   if (incoming > stored) {
-    it->second = row;
+    stored_row = row;
     return true;
   }
   if (incoming == stored) {
     // Same version: merge conservatively (a destruction marker at equal
-    // index wins inside Timestamp::merge).
-    const DependencyVector before = it->second;
-    it->second.merge(row);
-    return !(it->second == before);
+    // index wins inside Timestamp::merge). Change detection is per entry —
+    // the merge only ever upgrades entries, so comparing each merged entry
+    // against its stored value is exactly the old whole-row comparison.
+    bool changed = false;
+    for (const auto& [p, ts] : row.entries()) {
+      const Timestamp old = stored_row.get(p);
+      const Timestamp merged = Timestamp::merge(old, ts);
+      if (!(merged == old)) {
+        stored_row.set(p, merged);
+        changed = true;
+      }
+    }
+    return changed;
   }
   return false;
 }
@@ -96,7 +107,7 @@ std::vector<GgdMessage> GgdProcess::receive(
   // overlay (it reaches its subjects through their own bundles later).
   for (const auto& [q, row] : msg.behalf_rows) {
     if (q != id_ && !dead_.contains(q)) {
-      known_behalf_[q].merge(row);
+      known_behalf_.row(q).merge(row);
     }
   }
 
@@ -107,7 +118,7 @@ std::vector<GgdMessage> GgdProcess::receive(
     // fresh account as of now — record the arrival time so an unreachable
     // verdict that began pending earlier may rest on it.
     confirm_time_[m] = now;
-    history_[m].merge(msg.v);
+    history_.row(m).merge(msg.v);
     if (msg.has_out_edges && msg.out_edges.contains(id_)) {
       // The responder vouches that it currently holds us: its in-edge
       // claim is delivery-confirmed up to the slot's present index.
@@ -171,7 +182,7 @@ std::vector<GgdMessage> GgdProcess::receive(
       resurrected_.erase(m);
     }
     log_.self_row().merge_entry(m, vm);
-    history_[m].merge(msg.v);
+    history_.row(m).merge(msg.v);
   }
 
   if (dead_.contains(m)) {
@@ -292,11 +303,11 @@ std::vector<GgdMessage> GgdProcess::decide(
       root_evidence.insert(consulted.begin(), consulted.end());
     }
     for (ProcessId q : root_evidence) {
-      auto rit = known_rows_.find(q);
+      const RowTable::RowView stored = std::as_const(known_rows_).row(q);
       const std::uint64_t version =
-          rit == known_rows_.end()
+          !stored.exists()
               ? std::max<std::uint64_t>(1, log_.self_row().get(q).index())
-              : rit->second.get(q).index();
+              : stored.get(q).index();
       auto [vit, fresh] = inquired_version_.emplace(q, version);
       if (fresh || vit->second < version) {
         vit->second = version;
@@ -368,9 +379,8 @@ std::vector<GgdMessage> GgdProcess::decide(
       // At most one outstanding inquiry per subject, and at most one per
       // row version per round: a reply that did not advance the subject's
       // row will not advance it if re-asked immediately either.
-      auto rit = known_rows_.find(q);
       const std::uint64_t version =
-          rit == known_rows_.end() ? 0 : rit->second.get(q).index();
+          std::as_const(known_rows_).row(q).get(q).index();
       auto [vit, fresh] = blocked_inquired_version_.emplace(q, version);
       if (!fresh && vit->second >= version) {
         continue;
@@ -454,8 +464,8 @@ void GgdProcess::attach_sync(GgdMessage& msg, bool include_rows) {
     return;
   }
   if (relay_policy_ == RelayPolicy::kWholeMap) {
-    msg.rows = known_rows_;
-    for (const auto& [q, row] : known_rows_) {
+    for (const auto& [q, row] : known_rows_.rows()) {
+      msg.rows.emplace(q, row);
       auto rit = row_rev_.find(q);
       CGC_CHECK(rit != row_rev_.end());
       msg.row_revs.emplace(q, rit->second);
@@ -471,7 +481,7 @@ void GgdProcess::attach_sync(GgdMessage& msg, bool include_rows) {
   // through the inquiry machinery anyway — a lost row costs latency,
   // never a verdict.
   auto& ps = peer_sync_[msg.to];
-  for (const auto& [q, row] : known_rows_) {
+  for (const auto& [q, row] : known_rows_.rows()) {
     if (q == msg.to) {
       continue;  // the receiver ignores a relayed copy of its own row
     }
@@ -623,7 +633,9 @@ GgdProcess::WalkResult GgdProcess::walk_to_root(
   std::vector<std::pair<ProcessId, ProcessId>> stack;
   bool reachable = false;
   bool blocked = false;
-  auto push_live_slots = [&](const DependencyVector& row, ProcessId source) {
+  // Generic over DependencyVector and RowTable::RowView: both yield
+  // (ProcessId, Timestamp) pairs from entries() in increasing-id order.
+  auto push_live_slots = [&](const auto& row, ProcessId source) {
     for (const auto& [q, ts] : row.entries()) {
       if (ts.is_delta() || ts.destroyed() || visited.contains(q)) {
         continue;
@@ -686,12 +698,11 @@ GgdProcess::WalkResult GgdProcess::walk_to_root(
     // behalf entry cannot pin garbage for ever: the edge's destruction
     // carries the dropper's own counter, which supersedes the per-slot
     // behalf index in the merge.
-    auto it = known_rows_.find(q);
-    const DependencyVector& behalf = log_.row(q);
-    auto bit = known_behalf_.find(q);
-    const bool overlay = !behalf.entries().empty() ||
-                         bit != known_behalf_.end();
-    if (it == known_rows_.end()) {
+    const RowTable::RowView replica = std::as_const(known_rows_).row(q);
+    const DvLog::RowView behalf = std::as_const(log_).row(q);
+    const RowTable::RowView deferred = std::as_const(known_behalf_).row(q);
+    const bool overlay = !behalf.empty() || deferred.exists();
+    if (!replica.exists()) {
       // Unknown predecessor: cannot prove this path dead. Conservatively
       // blocked until q's row arrives — but deferred grants already known
       // here (ours or relayed) still contribute live continuations.
@@ -699,8 +710,8 @@ GgdProcess::WalkResult GgdProcess::walk_to_root(
       blocked = true;
       if (overlay) {
         DependencyVector view = behalf;
-        if (bit != known_behalf_.end()) {
-          view.merge(bit->second);
+        if (deferred.exists()) {
+          view.merge(deferred);
         }
         push_live_slots(view, q);
       }
@@ -709,13 +720,13 @@ GgdProcess::WalkResult GgdProcess::walk_to_root(
     consulted.insert(q);
     if (!overlay) {
       // Common case: no deferred-grant overlay — walk the stored replica
-      // by reference, no copies.
-      push_live_slots(it->second, q);
+      // in place, no copies.
+      push_live_slots(replica, q);
     } else {
-      DependencyVector view = it->second;
+      DependencyVector view = replica;
       view.merge(behalf);
-      if (bit != known_behalf_.end()) {
-        view.merge(bit->second);
+      if (deferred.exists()) {
+        view.merge(deferred);
       }
       push_live_slots(view, q);
     }
@@ -759,11 +770,11 @@ DependencyVector GgdProcess::compute_v() const {
     if (!expanded.insert(p).second) {
       continue;
     }
-    auto it = history_.find(p);
-    if (it == history_.end()) {
+    const RowTable::RowView hist = std::as_const(history_).row(p);
+    if (!hist.exists()) {
       continue;
     }
-    for (const auto& [q, alpha] : it->second.entries()) {
+    for (const auto& [q, alpha] : hist) {
       if (q == p || q == id_ || alpha.is_delta() || dead_.contains(q)) {
         // Destruction markers inside a history describe edges of *that*
         // process, not ours; entries of dead processes contribute nothing.
@@ -855,9 +866,18 @@ GgdProcessSnapshot GgdProcess::export_state() const {
     snap.log_rows.emplace(q, row);
   }
   snap.acquaintances = acquaintances_;
-  snap.history = history_;
-  snap.known_rows = known_rows_;
-  snap.known_behalf = known_behalf_;
+  // The SoA tables materialize into the snapshot's owning FlatMaps in
+  // increasing-id order (the wire codec's contract).
+  auto materialize = [](const RowTable& table) {
+    FlatMap<ProcessId, DependencyVector> out;
+    for (const auto& [q, row] : table.rows()) {
+      out.emplace(q, row);
+    }
+    return out;
+  };
+  snap.history = materialize(history_);
+  snap.known_rows = materialize(known_rows_);
+  snap.known_behalf = materialize(known_behalf_);
   snap.dead = dead_;
   snap.resurrected = resurrected_;
   snap.resurrect_fact_index = resurrect_fact_index_;
@@ -883,9 +903,16 @@ void GgdProcess::import_state(const GgdProcessSnapshot& snap) {
     log_.row(q) = row;
   }
   acquaintances_ = snap.acquaintances;
-  history_ = snap.history;
-  known_rows_ = snap.known_rows;
-  known_behalf_ = snap.known_behalf;
+  auto adopt_table = [](RowTable& table,
+                        const FlatMap<ProcessId, DependencyVector>& rows) {
+    table.clear();
+    for (const auto& [q, row] : rows) {
+      table.row(q) = row;
+    }
+  };
+  adopt_table(history_, snap.history);
+  adopt_table(known_rows_, snap.known_rows);
+  adopt_table(known_behalf_, snap.known_behalf);
   dead_ = snap.dead;
   resurrected_ = snap.resurrected;
   resurrect_fact_index_ = snap.resurrect_fact_index;
@@ -912,13 +939,151 @@ void GgdProcess::import_state(const GgdProcessSnapshot& snap) {
   // instead of regressing frontiers (the migration-bounce failure mode).
   row_rev_.clear();
   rev_counter_ = 0;
-  for (const auto& entry : known_rows_) {
-    row_rev_.emplace(entry.first, ++rev_counter_);
+  for (const auto& [q, row] : known_rows_.rows()) {
+    (void)row;
+    row_rev_.emplace(q, ++rev_counter_);
   }
   peer_sync_.clear();
   ack_pending_.clear();
   ack_epoch_pending_.clear();
   ++sync_epoch_;
+}
+
+void GgdProcess::retire_tombstone() {
+  CGC_CHECK(removed_);
+  // Walk/verdict state: only receive(), decide() and the root walks read
+  // these, and all three are gated on !removed_.
+  history_.release();
+  known_behalf_.release();
+  inquired_.release();
+  inflight_inquiries_.release();
+  blocked_inquired_version_.release();
+  resurrected_.release();
+  resurrect_fact_index_.release();
+  refuted_fact_ceiling_.release();
+  inquired_version_.release();
+  confirm_time_.release();
+  in_edge_confirmed_.release();
+  // Forward coalescing: take_forwards() is empty for a tombstone, so the
+  // acquaintance list and cached V can go. `forward_pending_` must KEEP
+  // its value: a pending flag means a flush event is already owed to the
+  // scheduler, and suppressing that (no-op) event would shift every later
+  // event's sequence number — a wire-visible reordering. take_forwards()
+  // clears the flag itself when the owed flush fires.
+  acquaintances_.release();
+  last_v_ = DependencyVector{};
+  // Wire-live remainder (make_destruction_message, attach_sync,
+  // apply_row_acks): frozen content, tight-packed in place.
+  log_.shrink_to_fit();
+  known_rows_.shrink_to_fit();
+  row_rev_.shrink_to_fit();
+  dead_.shrink_to_fit();
+  ack_epoch_pending_.shrink_to_fit();
+  for (auto& [peer, ps] : peer_sync_) {
+    (void)peer;
+    // `unacked` is write-only bookkeeping once removed: the rollback that
+    // reads it (sync_sweep_round) never runs for a tombstone — sweeps
+    // skip removed processes — and neither the attach decision
+    // (watermark + forced) nor the ack handler's forced-clear (row_rev_)
+    // consults it. The final cascade shipped every known row to every
+    // acquaintance, so these maps are the bulk of a corpse's relay state.
+    ps.unacked.release();
+    ps.forced.shrink_to_fit();
+  }
+  peer_sync_.shrink_to_fit();
+  for (auto& [peer, acks] : ack_pending_) {
+    (void)peer;
+    acks.shrink_to_fit();
+  }
+  ack_pending_.shrink_to_fit();
+}
+
+GgdProcess::StorageFootprint GgdProcess::storage_footprint() const {
+  StorageFootprint f;
+  f.log_bytes = log_.footprint_bytes();
+  f.history_bytes = history_.footprint_bytes();
+  f.known_bytes = known_rows_.footprint_bytes();
+  f.behalf_bytes = known_behalf_.footprint_bytes();
+
+  const auto map64 = [](const auto& m) {
+    return m.capacity() * sizeof(typename std::decay_t<decltype(m)>::value_type);
+  };
+  // dead_ counts here, not under gating: death knowledge rides in every
+  // posthumous message, so it is wire-live state like the frontiers.
+  f.relay_bytes = map64(row_rev_) + map64(ack_epoch_pending_) +
+                  map64(dead_) +
+                  peer_sync_.capacity() *
+                      sizeof(std::pair<ProcessId, PeerSync>) +
+                  map64(ack_pending_);
+  for (const auto& [peer, ps] : peer_sync_) {
+    (void)peer;
+    f.relay_bytes += map64(ps.unacked) + map64(ps.forced);
+  }
+  for (const auto& [peer, acks] : ack_pending_) {
+    (void)peer;
+    f.relay_bytes += map64(acks);
+  }
+
+  f.gate_bytes = map64(inquired_) + map64(inflight_inquiries_) +
+                 map64(blocked_inquired_version_) + map64(resurrected_) +
+                 map64(resurrect_fact_index_) + map64(refuted_fact_ceiling_) +
+                 map64(inquired_version_) + map64(confirm_time_) +
+                 map64(in_edge_confirmed_) + map64(acquaintances_) +
+                 map64(last_v_.entries());
+  return f;
+}
+
+void GgdProcess::trim_storage() {
+  CGC_CHECK(!removed_);
+  // Row tables: only compact when there are dead slots to reclaim — an
+  // unconditional tight-pack would strip every row's growth headroom and
+  // make the next merge relocate its span (pool churn for no gain).
+  if (log_.dead_slots() > 0) {
+    log_.compact();
+  }
+  if (known_rows_.dead_slots() > 0) {
+    known_rows_.compact();
+  }
+  if (history_.dead_slots() > 0) {
+    history_.compact();
+  }
+  if (known_behalf_.dead_slots() > 0) {
+    known_behalf_.compact();
+  }
+  // Flat maps/sets: shed the doubling slack, but only when there is
+  // meaningful slack to shed — an unconditional shrink_to_fit reallocates
+  // nearly every (stable) map on every trim round, which showed up as a
+  // double-digit throughput hit on the small rungs. Near-stable maps pass
+  // through as no-ops; actively shrinking ones get trimmed.
+  const auto trim = [](auto& m) {
+    if (m.capacity() >= 16 && m.capacity() - m.size() >= m.size() / 2) {
+      m.shrink_to_fit();
+    }
+  };
+  trim(row_rev_);
+  trim(dead_);
+  trim(ack_epoch_pending_);
+  for (auto& [peer, ps] : peer_sync_) {
+    (void)peer;
+    trim(ps.unacked);
+    trim(ps.forced);
+  }
+  trim(peer_sync_);
+  for (auto& [peer, acks] : ack_pending_) {
+    (void)peer;
+    trim(acks);
+  }
+  trim(ack_pending_);
+  trim(acquaintances_);
+  trim(inquired_);
+  trim(inflight_inquiries_);
+  trim(blocked_inquired_version_);
+  trim(resurrected_);
+  trim(resurrect_fact_index_);
+  trim(refuted_fact_ceiling_);
+  trim(inquired_version_);
+  trim(confirm_time_);
+  trim(in_edge_confirmed_);
 }
 
 std::vector<GgdMessage> GgdProcess::remove_self() {

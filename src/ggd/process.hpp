@@ -20,10 +20,12 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/flat_map.hpp"
 #include "common/types.hpp"
 #include "sim/simulator.hpp"
 #include "vclock/dv_log.hpp"
+#include "vclock/row_table.hpp"
 
 namespace cgc {
 
@@ -171,8 +173,16 @@ enum class RelayPolicy : std::uint8_t { kDelta, kWholeMap };
 
 class GgdProcess {
  public:
-  GgdProcess(ProcessId id, bool is_root)
-      : id_(id), is_root_(is_root), log_(id) {}
+  /// `pool` (optional) supplies bulk-owned memory for the log and the
+  /// replica tables — the engine / site node passes its own so every
+  /// hosted process shares one arena; null keeps plain heap backing.
+  GgdProcess(ProcessId id, bool is_root, Pool* pool = nullptr)
+      : id_(id),
+        is_root_(is_root),
+        log_(id, pool),
+        history_(pool),
+        known_rows_(pool),
+        known_behalf_(pool) {}
 
   [[nodiscard]] ProcessId id() const { return id_; }
   [[nodiscard]] bool is_root() const { return is_root_; }
@@ -247,16 +257,12 @@ class GgdProcess {
   /// Accumulated third-party on-behalf knowledge: for subject q, the
   /// merged deferred edge-creation entries reported by any forwarder.
   /// Overlaid on q's replica row during the walk.
-  [[nodiscard]] const FlatMap<ProcessId, DependencyVector>& known_behalf()
-      const {
-    return known_behalf_;
-  }
+  [[nodiscard]] const RowTable& known_behalf() const { return known_behalf_; }
 
   /// The edge-precise in-edge row of `q` as last reported by `q` itself
-  /// (replace-if-newer by q's own event counter). Empty row if unknown.
-  [[nodiscard]] const DependencyVector* known_row(ProcessId q) const {
-    auto it = known_rows_.find(q);
-    return it == known_rows_.end() ? nullptr : &it->second;
+  /// (replace-if-newer by q's own event counter). Non-exists() if unknown.
+  [[nodiscard]] RowTable::RowView known_row(ProcessId q) const {
+    return known_rows_.row(q);
   }
 
   /// Outcome of the edge-precise reachability walk over known self rows.
@@ -382,11 +388,14 @@ class GgdProcess {
     const std::uint64_t rev = row_rev(q);
     return rev != 0 && rev <= ps.sent_watermark ? rev : 0;
   }
-  /// The full replica-row map (differential conformance compares the
-  /// converged row state of delta vs whole-map runs).
-  [[nodiscard]] const FlatMap<ProcessId, DependencyVector>& known_rows()
-      const {
-    return known_rows_;
+  /// The full replica-row map, materialized (differential conformance
+  /// compares the converged row state of delta vs whole-map runs).
+  [[nodiscard]] FlatMap<ProcessId, DependencyVector> known_rows() const {
+    FlatMap<ProcessId, DependencyVector> out;
+    for (const auto& [q, row] : known_rows_.rows()) {
+      out.emplace(q, row);
+    }
+    return out;
   }
 
   /// Merges announced edge facts delivered outside a regular message —
@@ -399,11 +408,58 @@ class GgdProcess {
 
   /// Certified causal histories of other processes, keyed by sender. Kept
   /// separate from the on-behalf rows in `log_`: the self row and the
-  /// behalf rows hold *edge facts* of the global root graph; this map holds
-  /// *claims about reachability history* received from their subjects.
-  [[nodiscard]] const FlatMap<ProcessId, DependencyVector>& history() const {
-    return history_;
-  }
+  /// behalf rows hold *edge facts* of the global root graph; this table
+  /// holds *claims about reachability history* received from their
+  /// subjects.
+  [[nodiscard]] const RowTable& history() const { return history_; }
+
+  /// Where this process's bytes actually live — capacity-based, so the
+  /// numbers add up to what the allocators hold, not just what is
+  /// filled. The memory diet steers by this attribution (summed across
+  /// the engine by GgdEngine::storage_footprint).
+  struct StorageFootprint {
+    std::size_t log_bytes = 0;      ///< DvLog: self + on-behalf rows
+    std::size_t history_bytes = 0;  ///< certified peer histories
+    std::size_t known_bytes = 0;    ///< replica rows of peers
+    std::size_t behalf_bytes = 0;   ///< forwarded on-behalf rows
+    std::size_t relay_bytes = 0;    ///< delta-relay frontiers + acks
+    std::size_t gate_bytes = 0;     ///< verdict-gating side tables
+    [[nodiscard]] std::size_t total() const {
+      return log_bytes + history_bytes + known_bytes + behalf_bytes +
+             relay_bytes + gate_bytes;
+    }
+    StorageFootprint& operator+=(const StorageFootprint& o) {
+      log_bytes += o.log_bytes;
+      history_bytes += o.history_bytes;
+      known_bytes += o.known_bytes;
+      behalf_bytes += o.behalf_bytes;
+      relay_bytes += o.relay_bytes;
+      gate_bytes += o.gate_bytes;
+      return *this;
+    }
+  };
+  [[nodiscard]] StorageFootprint storage_footprint() const;
+
+  /// Releases every byte a removed process will never be asked about
+  /// again. A tombstone still answers inquiries posthumously — its
+  /// death certificate re-issue reads the log's behalf rows, `dead`,
+  /// and the delta-relay frontier state (attach_sync ships replica rows
+  /// to peers behind the frontier) — so that remainder is kept but
+  /// tight-packed; the walk/verdict side (history, on-behalf forwards,
+  /// gating tables) is provably unread once `removed()` and is dropped
+  /// outright. Wire-passive by construction: only storage that no
+  /// posthumous code path reads is released. The engine calls this at
+  /// the removal transition; ~half the large bench's peak RSS was
+  /// tombstone state before it did.
+  void retire_tombstone();
+
+  /// Capacity-only diet pass for a LIVE process, run at sweep-round
+  /// boundaries: reclaims dead column slots the lazy compaction
+  /// threshold hasn't reached yet and drops the geometric growth slack
+  /// of the long-lived maps and sets. Content is untouched, so the wire
+  /// trace cannot change; the cost is a memcpy of the live state, which
+  /// is why the engine throttles it to every few rounds.
+  void trim_storage();
 
   /// Serializes the fact state for a cross-site hand-off. The process
   /// must be live (a removed process has no state worth moving).
@@ -465,9 +521,11 @@ class GgdProcess {
   ProcessId id_;
   bool is_root_;
   DvLog log_;
-  FlatMap<ProcessId, DependencyVector> history_;
-  FlatMap<ProcessId, DependencyVector> known_rows_;
-  FlatMap<ProcessId, DependencyVector> known_behalf_;
+  /// SoA row tables (shared entry columns, optionally pool-backed): the
+  /// three big per-process maps that dominate footprint at scale.
+  RowTable history_;
+  RowTable known_rows_;
+  RowTable known_behalf_;
   FlatSet<ProcessId> dead_;
   FlatSet<ProcessId> inquired_;
   /// Inquiries currently outstanding: at most one in flight per subject

@@ -3,7 +3,7 @@
 namespace cgc {
 
 void LazyLogKeeping::on_send_own_ref(GgdProcess& i, ProcessId j) const {
-  DependencyVector& self = i.log().self_row();
+  auto self = i.log().self_row();  // proxy handle, stable across interning
   self.increment(j);
   self.increment(i.id());
 }

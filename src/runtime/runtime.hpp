@@ -34,7 +34,7 @@ class DistributedRuntime : public wire::Mailbox {
  public:
   explicit DistributedRuntime(NetworkConfig net_config = {},
                               LogKeepingMode mode = LogKeepingMode::kRobust)
-      : net_(sim_, net_config), engine_(net_, mode) {
+      : sim_(&sim_pool_), net_(sim_, net_config), engine_(net_, mode) {
     engine_.set_on_removed([this](ProcessId p) { on_global_root_removed(p); });
   }
 
@@ -125,6 +125,9 @@ class DistributedRuntime : public wire::Mailbox {
   /// collection: for every global root g, the set of proxies it reaches.
   void refresh_edges(SiteId site);
 
+  /// Backs the simulator's event heap; declared first so every event is
+  /// destroyed before its storage goes away.
+  Pool sim_pool_;
   Simulator sim_;
   Network net_;
   GgdEngine engine_;

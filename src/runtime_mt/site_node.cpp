@@ -17,7 +17,7 @@ SiteNode::SiteNode(SiteId site, const Placement& placement,
 void SiteNode::register_process(ProcessId id, bool is_root) {
   const std::uint32_t idx = ids_.intern(id);
   CGC_CHECK(idx == procs_.size());
-  procs_.emplace_back(id, is_root);
+  procs_.emplace_back(id, is_root, &pool_);
   proc_order_.insert(id);
   generations_.add();  // newborns start hot
 }
@@ -200,6 +200,9 @@ void SiteNode::on_ggd_message(const GgdMessage& msg) {
 
 void SiteNode::note_removed(ProcessId p) {
   removed_.push_back(p);
+  // Shed the walk-side state and tight-pack the wire-live remainder.
+  // Thread-confined like everything else this worker owns.
+  procs_[ids_.index_of(p)].retire_tombstone();
   if (on_removed_) {
     on_removed_(p);
   }
@@ -279,6 +282,12 @@ bool SiteNode::sweep_slice(std::uint64_t budget_units) {
       }
       generations_.note_scanned(idx, sweep_round_,
                                 !out.empty() || now_removed);
+      // Same amortized capacity diet as the engine's sweep, on this
+      // worker's own processes (thread-confined; content untouched, so
+      // replay-conformant).
+      if (!now_removed && sweep_round_ % 4 == 0) {
+        proc.trim_storage();
+      }
       dispatch_all(std::move(out));
       flush(id);
     }

@@ -39,6 +39,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/assert.hpp"
 #include "common/dense_map.hpp"
 #include "common/flat_map.hpp"
@@ -155,6 +156,13 @@ class SiteNode {
   std::function<void(ProcessId)> on_removed_;
   MessageStats* stats_ = nullptr;
 
+  /// Per-site bulk memory for hosted processes' logs and replica tables.
+  /// Thread story: constructed on the launching thread, used only by this
+  /// site's worker, read after join — confinement plus the thread
+  /// start/join happens-before is what keeps TSan quiet (no cross-thread
+  /// alloc/free ever touches it). Declared before `procs_` so processes
+  /// release their rows before the pool dies.
+  Pool pool_;
   IdInterner<ProcessId> ids_;
   std::deque<GgdProcess> procs_;
   /// Hosted ids in increasing order — the sweep's deterministic scan order.

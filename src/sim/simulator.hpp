@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/assert.hpp"
 #include "common/inline_function.hpp"
 
@@ -33,6 +34,13 @@ class Simulator {
   /// byte vector) fits with room to spare; bigger ones degrade to one
   /// heap cell, not a correctness problem.
   using Action = InlineFunction<48>;
+
+  /// With a pool, the event heap's backing array comes out of the arena
+  /// (and its geometric regrowth recycles through the pool's size-class
+  /// free lists instead of churning the global heap). The pool must
+  /// outlive the simulator. Null keeps the global-heap default.
+  Simulator() = default;
+  explicit Simulator(Pool* pool) : heap_(EventAlloc(pool)) {}
 
   [[nodiscard]] SimTime now() const { return now_; }
 
@@ -172,7 +180,9 @@ class Simulator {
     heap_[i] = std::move(hole);
   }
 
-  std::vector<Event> heap_;
+  using EventAlloc = PoolAllocator<Event>;
+
+  std::vector<Event, EventAlloc> heap_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -12,61 +12,49 @@
 // past event. This is the paper's answer to the unbounded history of
 // Fowler & Zwaenepoel's reconstruction (§3.3, §5).
 //
-// Representation: rows are interned — a sorted FlatMap maps each
-// acquaintance's sparse ProcessId to a dense uint32 slot in one
-// contiguous row vector, so the per-message row touches of Fig. 6 cost a
-// small-vector search plus an array index instead of an ordered-map
-// descent. Iteration (`rows()`) walks the index in increasing ProcessId
-// order — exactly the order the old `std::map` produced, which the
-// delta-encoded wire format depends on.
+// Representation: a RowTable — all rows share one pair of SoA entry
+// columns (ids + packed timestamps) sliced by per-row spans, optionally
+// backed by the owning engine's Pool. Rows are reached through RowRef /
+// RowView proxies that mirror DependencyVector's surface. Iteration
+// (`rows()`) walks the index in increasing ProcessId order — exactly the
+// order the old `std::map` produced, which the delta-encoded wire format
+// depends on. Erased rows' column slots are reclaimed by the table's
+// compaction, so the log's footprint tracks its live contents (the old
+// slot free-list pinned every row's high-water block forever).
 #pragma once
 
 #include <cstdint>
 #include <string>
-#include <utility>
 #include <vector>
 
-#include "common/flat_map.hpp"
+#include "common/arena.hpp"
 #include "common/types.hpp"
-#include "vclock/dependency_vector.hpp"
+#include "vclock/row_table.hpp"
 
 namespace cgc {
 
 class DvLog {
  public:
+  using RowRef = RowTable::RowRef;
+  using RowView = RowTable::RowView;
+  using RowsView = RowTable::RowsView;
+
   DvLog() = default;
-  explicit DvLog(ProcessId self) : self_(self) {}
+  explicit DvLog(ProcessId self, Pool* pool = nullptr)
+      : self_(self), rows_(pool) {}
 
   [[nodiscard]] ProcessId self() const { return self_; }
 
-  /// Mutable access to a row, creating (interning) it if absent.
-  /// NOTE: unlike the std::map this replaced, the returned reference is
-  /// invalidated by a later `row()` call that interns a NEW acquaintance
-  /// (the slot vector may reallocate) — re-fetch instead of caching it
-  /// across interning calls.
-  DependencyVector& row(ProcessId q) {
-    auto [it, inserted] = index_.emplace(q, 0u);
-    if (inserted) {
-      if (free_.empty()) {
-        it->second = static_cast<std::uint32_t>(slots_.size());
-        slots_.emplace_back();
-      } else {
-        it->second = free_.back();
-        free_.pop_back();
-      }
-    }
-    return slots_[it->second];
-  }
+  /// Mutable access to a row, creating (interning) it if absent. The
+  /// returned proxy stays valid across later interning calls (slots are
+  /// stable); only erasing the same row invalidates it.
+  [[nodiscard]] RowRef row(ProcessId q) { return rows_.row(q); }
 
   /// Read-only row access; absent rows read as the empty vector.
-  [[nodiscard]] const DependencyVector& row(ProcessId q) const {
-    static const DependencyVector kEmpty;
-    auto it = index_.find(q);
-    return it == index_.end() ? kEmpty : slots_[it->second];
-  }
+  [[nodiscard]] RowView row(ProcessId q) const { return rows_.row(q); }
 
-  DependencyVector& self_row() { return row(self_); }
-  [[nodiscard]] const DependencyVector& self_row() const { return row(self_); }
+  [[nodiscard]] RowRef self_row() { return rows_.row(self_); }
+  [[nodiscard]] RowView self_row() const { return rows_.row(self_); }
 
   /// This root's own latest event index.
   [[nodiscard]] Timestamp own_timestamp() const {
@@ -76,86 +64,43 @@ class DvLog {
   /// Records a fresh local log-keeping event: bumps own index in own row.
   Timestamp new_local_event() { return self_row().increment(self_); }
 
-  [[nodiscard]] bool has_row(ProcessId q) const { return index_.contains(q); }
+  [[nodiscard]] bool has_row(ProcessId q) const { return rows_.contains(q); }
 
-  void erase_row(ProcessId q) {
-    auto it = index_.find(q);
-    if (it == index_.end()) {
-      return;
-    }
-    slots_[it->second] = DependencyVector{};  // release the row's storage
-    free_.push_back(it->second);
-    index_.erase(it);
-  }
+  /// Removes a row and actually releases its storage: the span dies and
+  /// the shared columns compact once enough slots are dead.
+  void erase_row(ProcessId q) { rows_.erase(q); }
 
   /// Ordered view over (ProcessId, row) pairs, increasing ProcessId.
-  class RowsView {
-   public:
-    class Iterator {
-     public:
-      using Index = FlatMap<ProcessId, std::uint32_t>::const_iterator;
-      Iterator(Index it, const std::vector<DependencyVector>* slots)
-          : it_(it), slots_(slots) {}
-
-      [[nodiscard]] std::pair<ProcessId, const DependencyVector&> operator*()
-          const {
-        return {it_->first, (*slots_)[it_->second]};
-      }
-      Iterator& operator++() {
-        ++it_;
-        return *this;
-      }
-      [[nodiscard]] bool operator!=(const Iterator& o) const {
-        return it_ != o.it_;
-      }
-
-     private:
-      Index it_;
-      const std::vector<DependencyVector>* slots_;
-    };
-
-    RowsView(const FlatMap<ProcessId, std::uint32_t>& index,
-             const std::vector<DependencyVector>& slots)
-        : index_(index), slots_(slots) {}
-
-    [[nodiscard]] Iterator begin() const {
-      return Iterator(index_.begin(), &slots_);
-    }
-    [[nodiscard]] Iterator end() const {
-      return Iterator(index_.end(), &slots_);
-    }
-    [[nodiscard]] std::size_t size() const { return index_.size(); }
-
-   private:
-    const FlatMap<ProcessId, std::uint32_t>& index_;
-    const std::vector<DependencyVector>& slots_;
-  };
-
-  [[nodiscard]] RowsView rows() const { return RowsView(index_, slots_); }
+  [[nodiscard]] RowsView rows() const { return rows_.rows(); }
 
   /// Number of rows held (one per acquaintance ever heard of).
-  [[nodiscard]] std::size_t row_count() const { return index_.size(); }
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
 
   /// Total number of timestamp entries across all rows (space metric, T6).
-  [[nodiscard]] std::size_t entry_count() const {
-    std::size_t n = 0;
-    for (const auto& [q, slot] : index_) {
-      (void)q;
-      n += slots_[slot].size();
-    }
-    return n;
+  [[nodiscard]] std::size_t entry_count() const { return rows_.entry_count(); }
+
+  // -- footprint introspection (tests assert erase really shrinks) ---------
+
+  [[nodiscard]] std::size_t column_slots() const {
+    return rows_.column_slots();
   }
+  [[nodiscard]] std::size_t dead_slots() const { return rows_.dead_slots(); }
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    return rows_.footprint_bytes();
+  }
+  [[nodiscard]] std::size_t column_bytes() const {
+    return rows_.column_bytes();
+  }
+  void compact() { rows_.compact(); }
+  /// Compact + trim all bookkeeping to size (tombstone tight-pack).
+  void shrink_to_fit() { rows_.shrink_to_fit(); }
 
   /// Fixed-universe rendering matching the paper's Fig. 8 boxes.
   [[nodiscard]] std::string str(const std::vector<ProcessId>& universe) const;
 
  private:
   ProcessId self_;
-  /// Sorted interning index: acquaintance id → dense slot.
-  FlatMap<ProcessId, std::uint32_t> index_;
-  /// Row storage, indexed by interned slot; erased slots are recycled.
-  std::vector<DependencyVector> slots_;
-  std::vector<std::uint32_t> free_;
+  RowTable rows_;
 };
 
 }  // namespace cgc

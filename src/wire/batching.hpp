@@ -63,8 +63,20 @@ class BatchingChannel {
     p.kinds = std::move(kinds_);
     pending_.clear();
     kinds_.clear();
+    // A channel keeps only a modest buffer between batches: with
+    // O(sites^2) channels alive, letting each one pin its high-water
+    // batch capacity for ever adds up to a triple-digit-MB reservation
+    // on the big bench rungs (flush storms ship whole row sets). The
+    // encoded bytes are identical either way.
+    if (pending_.capacity() > kRetainCapacity) {
+      pending_.shrink_to_fit();
+    }
     return p;
   }
+
+  /// Post-flush buffer capacity above which the backing block is
+  /// returned to the allocator instead of kept for the next batch.
+  static constexpr std::size_t kRetainCapacity = 1024;
 
   [[nodiscard]] SiteId from() const { return from_; }
   [[nodiscard]] SiteId to() const { return to_; }

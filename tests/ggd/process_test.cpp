@@ -216,6 +216,50 @@ TEST(GgdProcess, ComputeVClosesOverHistories) {
   EXPECT_FALSE(v.get(P(3)).is_delta());
 }
 
+TEST(GgdProcess, TombstoneRetirementShedsWalkStateKeepsPosthumousWire) {
+  GgdProcess p(P(2), false);
+  LazyLogKeeping lk;
+  lk.on_send_own_ref(p, P(1));  // counter 1, slot 1 live
+
+  // Populate the walk-side tables before death: a reply certifies
+  // history, relayed rows and behalf rows fill the replica tables.
+  DependencyVector rv;
+  rv.set(P(1), Timestamp::creation(1));
+  DependencyVector row7;
+  row7.set(P(1), Timestamp::creation(1));
+  GgdMessage fill = vector_msg(P(1), P(2), rv);
+  fill.reply = true;
+  fill.rows.emplace(P(7), row7);
+  fill.row_revs.emplace(P(7), std::uint64_t{1});
+  fill.behalf_rows.emplace(P(8), row7);
+  (void)p.receive(fill, roots({1}));
+  EXPECT_GT(p.storage_footprint().history_bytes, 0u);
+  EXPECT_GT(p.storage_footprint().behalf_bytes, 0u);
+
+  // Destroy the only in-edge: p removes itself. In production the
+  // engine/site funnel retires the tombstone right after.
+  DependencyVector d;
+  d.set(P(1), Timestamp::destruction(1));
+  (void)p.receive(vector_msg(P(1), P(2), d), roots({1}));
+  ASSERT_TRUE(p.removed());
+  p.retire_tombstone();
+
+  const GgdProcess::StorageFootprint after = p.storage_footprint();
+  EXPECT_EQ(after.history_bytes, 0u) << "certified history is never read "
+                                        "posthumously";
+  EXPECT_EQ(after.behalf_bytes, 0u) << "deferred behalf rows die with us";
+  EXPECT_EQ(after.gate_bytes, 0u) << "inquiry gates are walk-only state";
+
+  // The posthumous answer survives the shed: the re-issued death
+  // certificate still carries the dead set and ships the retained replica
+  // rows to a peer with an empty confirmed frontier.
+  GgdMessage post = p.make_destruction_message(P(9));
+  EXPECT_TRUE(post.dead.contains(P(2)));
+  auto it = post.rows.find(P(7));
+  ASSERT_NE(it, post.rows.end());
+  EXPECT_EQ(it->second.get(P(1)), Timestamp::creation(1));
+}
+
 TEST(GgdProcess, AnnounceCarriesFreshVector) {
   GgdProcess p(P(2), false);
   LazyLogKeeping lk;

@@ -46,6 +46,53 @@ TEST(DvLog, EntryCountSpansAllRows) {
   EXPECT_EQ(log.entry_count(), 3u);
 }
 
+// The log must actually return memory when rows die: populate a batch of
+// rows, erase them all, and require the shared columns to shrink back.
+// Forcing compact() keeps the assertion deterministic (the automatic
+// trigger fires on thresholds, not on every erase).
+TEST(DvLog, ErasedRowsReleaseColumnStorage) {
+  DvLog log(P(0));
+  log.new_local_event();  // intern the self row: it must survive the purge
+  constexpr std::uint64_t kRows = 128;
+  constexpr std::uint64_t kEntries = 8;
+  for (std::uint64_t q = 1; q <= kRows; ++q) {
+    auto row = log.row(P(q));
+    for (std::uint64_t e = 1; e <= kEntries; ++e) {
+      row.set(P(1000 + e), Timestamp::creation(e));
+    }
+  }
+  const std::size_t peak_slots = log.column_slots();
+  const std::size_t peak_bytes = log.column_bytes();
+  ASSERT_GE(peak_slots, kRows * kEntries);
+  for (std::uint64_t q = 1; q <= kRows; ++q) {
+    log.erase_row(P(q));
+  }
+  log.compact();
+  EXPECT_EQ(log.dead_slots(), 0u);
+  EXPECT_EQ(log.column_slots(), 1u);  // only the self row's own entry left
+  EXPECT_LT(log.column_bytes(), peak_bytes / 4);
+  EXPECT_EQ(log.row_count(), 1u);
+  (void)peak_slots;
+}
+
+// Erase-heavy churn crosses the automatic compaction threshold without any
+// explicit compact() call: dead slots must never exceed the live columns.
+TEST(DvLog, AutomaticCompactionBoundsDeadSlots) {
+  DvLog log(P(0));
+  for (std::uint64_t round = 0; round < 16; ++round) {
+    for (std::uint64_t q = 1; q <= 64; ++q) {
+      auto row = log.row(P(round * 64 + q));
+      row.set(P(7), Timestamp::creation(round + 1));
+      row.set(P(8), Timestamp::creation(round + 2));
+    }
+    for (std::uint64_t q = 1; q <= 64; ++q) {
+      log.erase_row(P(round * 64 + q));
+    }
+  }
+  EXPECT_LE(log.dead_slots(), log.column_slots());
+  EXPECT_LT(log.column_slots(), 16u * 64u * 2u);  // churn did not accrete
+}
+
 TEST(DvLog, FixedUniverseRendering) {
   DvLog log(P(2));
   log.self_row().set(P(1), Timestamp::destruction(1));
